@@ -1,0 +1,151 @@
+// Command bbwsim runs the brake-by-wire system of Figure 4: six
+// simulated NLFT (or fail-silent) kernel nodes on a time-triggered bus
+// braking a vehicle model, with optional fault injections.
+//
+// Usage:
+//
+//	bbwsim [-kind nlft|fs] [-speed M/S] [-inject t:node:kind[:reg:bit]]...
+//
+// Injection examples:
+//
+//	-inject 300ms:cu1:kill          kill the first central unit at 300 ms
+//	-inject 500ms:wn1:reg:2:9       flip bit 9 of r2 on wheel node 1
+//	-inject 400ms:wn2:pc:13         flip PC bit 13 on wheel node 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	nlft "repro"
+)
+
+// injections accumulates repeated -inject flags.
+type injections []nlft.Injection
+
+func (i *injections) String() string { return fmt.Sprintf("%d injections", len(*i)) }
+
+func (i *injections) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return fmt.Errorf("injection %q needs at least time:node:kind", spec)
+	}
+	d, err := time.ParseDuration(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad injection time %q: %v", parts[0], err)
+	}
+	inj := nlft.Injection{At: nlft.Time(d.Nanoseconds()), Node: parts[1]}
+	argInt := func(idx int) (int, error) {
+		if idx >= len(parts) {
+			return 0, fmt.Errorf("injection %q missing argument %d", spec, idx)
+		}
+		return strconv.Atoi(parts[idx])
+	}
+	switch parts[2] {
+	case "kill":
+		inj.Kind = nlft.InjKill
+	case "reg":
+		inj.Kind = nlft.InjRegister
+		reg, err := argInt(3)
+		if err != nil {
+			return err
+		}
+		bit, err := argInt(4)
+		if err != nil {
+			return err
+		}
+		inj.Reg, inj.Bit = reg, uint(bit)
+	case "pc":
+		inj.Kind = nlft.InjPC
+		bit, err := argInt(3)
+		if err != nil {
+			return err
+		}
+		inj.Bit = uint(bit)
+	case "alu":
+		inj.Kind = nlft.InjALU
+		bit, err := argInt(3)
+		if err != nil {
+			return err
+		}
+		inj.Mask = 1 << uint(bit)
+	default:
+		return fmt.Errorf("unknown injection kind %q", parts[2])
+	}
+	*i = append(*i, inj)
+	return nil
+}
+
+func main() {
+	kind := flag.String("kind", "nlft", "node kind: nlft or fs")
+	speed := flag.Float64("speed", 30, "initial vehicle speed in m/s")
+	duration := flag.Duration("duration", 12*time.Second, "maximum simulated duration")
+	var inj injections
+	flag.Var(&inj, "inject", "fault injection t:node:kind[:args] (repeatable)")
+	flag.Parse()
+
+	if err := run(*kind, *speed, *duration, inj); err != nil {
+		fmt.Fprintln(os.Stderr, "bbwsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kindName string, speed float64, duration time.Duration, inj injections) error {
+	var kind nlft.NodeKind
+	switch strings.ToLower(kindName) {
+	case "nlft":
+		kind = nlft.NLFTNodes
+	case "fs":
+		kind = nlft.FSNodes
+	default:
+		return fmt.Errorf("unknown node kind %q", kindName)
+	}
+	res, err := nlft.RunScenario(nlft.Scenario{
+		Config: nlft.SystemConfig{
+			Kind:         kind,
+			InitialSpeed: speed,
+		},
+		Duration:   nlft.Time(duration.Nanoseconds()),
+		Injections: inj,
+		StopEarly:  true,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("brake-by-wire simulation: %s nodes, %.0f m/s initial speed\n", res.Kind, speed)
+	fmt.Println("\n  time      speed    distance   wheel forces (N)")
+	for _, s := range res.Samples {
+		if s.T%(250*nlft.Millisecond) != 0 {
+			continue
+		}
+		fmt.Printf("  %6.2fs  %6.2f m/s  %7.2f m   [%5.0f %5.0f %5.0f %5.0f]\n",
+			s.T.Seconds(), s.SpeedMS, s.Distance,
+			s.Forces[0], s.Forces[1], s.Forces[2], s.Forces[3])
+	}
+
+	fmt.Println("\nnode summary:")
+	for _, n := range res.Nodes {
+		status := "up"
+		if n.Down {
+			status = "DOWN"
+		}
+		fmt.Printf("  %-4s %-4s ok=%-5d masked=%-3d omissions=%-3d failures=%d\n",
+			n.Name, status, n.OK, n.Masked, n.Omissions, n.Failures)
+	}
+
+	if res.Stopped {
+		fmt.Printf("\nvehicle stopped after %.2f s in %.2f m\n",
+			res.StopTime.Seconds(), res.StoppingDistance)
+	} else {
+		fmt.Printf("\nvehicle NOT stopped: %.2f m/s after %.2f m\n",
+			res.FinalSpeed, res.StoppingDistance)
+	}
+	fmt.Printf("bus: %d frames delivered, %d corrupted, %d slots skipped\n",
+		res.Bus.FramesDelivered, res.Bus.FramesCorrupted, res.Bus.SlotsSkipped)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command reliability regenerates the paper's evaluation: Figures 12,
+// 13 and 14 and the §3.4 MTTF comparison, as CSV series or an ASCII
+// table, from the analytic models.
+//
+// Usage:
+//
+//	reliability -fig 12 [-steps N] [-csv]
+//	reliability -fig 13 [-steps N] [-csv]
+//	reliability -fig 14 [-mission H] [-csv]
+//	reliability -mttf
+//	reliability -headline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nlft "repro"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 12, 13 or 14")
+	mttf := flag.Bool("mttf", false, "print the MTTF comparison (§3.4)")
+	headline := flag.Bool("headline", false, "print the headline comparison")
+	steps := flag.Int("steps", 12, "samples along the time axis")
+	mission := flag.Float64("mission", 5, "mission time in hours (figure 14)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	if err := run(*fig, *mttf, *headline, *steps, *mission, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "reliability:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, mttf, headline bool, steps int, mission float64, csv bool) error {
+	p := nlft.PaperParams()
+	did := false
+	if fig == 12 {
+		did = true
+		rows, err := nlft.Figure12(p, nlft.HoursPerYear, steps)
+		if err != nil {
+			return err
+		}
+		sep := "  "
+		if csv {
+			sep = ","
+		}
+		fmt.Printf("hours%sFS-full%sFS-degraded%sNLFT-full%sNLFT-degraded\n", sep, sep, sep, sep)
+		for _, r := range rows {
+			fmt.Printf("%8.0f%s%8.5f%s%8.5f%s%8.5f%s%8.5f\n",
+				r.Hours, sep, r.FSFull, sep, r.FSDegraded, sep, r.NLFTFull, sep, r.NLFTDegraded)
+		}
+	}
+	if fig == 13 {
+		did = true
+		rows, err := nlft.Figure13(p, nlft.HoursPerYear, steps)
+		if err != nil {
+			return err
+		}
+		sep := "  "
+		if csv {
+			sep = ","
+		}
+		fmt.Printf("hours%sCU-FS%sCU-NLFT%swheels-full-FS%swheels-full-NLFT%swheels-deg-FS%swheels-deg-NLFT\n",
+			sep, sep, sep, sep, sep, sep)
+		for _, r := range rows {
+			fmt.Printf("%8.0f%s%8.5f%s%8.5f%s%8.5f%s%8.5f%s%8.5f%s%8.5f\n",
+				r.Hours, sep, r.CUFS, sep, r.CUNLFT, sep, r.WheelsFullFS, sep,
+				r.WheelsFullNLFT, sep, r.WheelsDegradedFS, sep, r.WheelsDegradedNLFT)
+		}
+	}
+	if fig == 14 {
+		did = true
+		rows, err := nlft.Figure14(p, mission,
+			[]float64{0.9, 0.99, 0.999}, []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})
+		if err != nil {
+			return err
+		}
+		sep := "  "
+		if csv {
+			sep = ","
+		}
+		fmt.Printf("coverage%snode%slambdaT-multiple%slambdaT%sR(%.0fh)\n", sep, sep, sep, sep, mission)
+		for _, r := range rows {
+			fmt.Printf("%8.3f%s%4s%s%8.0f%s%12.5g%s%10.7f\n",
+				r.Coverage, sep, r.NodeType, sep, r.LambdaTMultiple, sep, r.LambdaT, sep, r.R)
+		}
+	}
+	if mttf {
+		did = true
+		rows, err := nlft.MTTFTable(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("mode      FS-years  NLFT-years  gain")
+		for _, r := range rows {
+			fmt.Printf("%-8s  %8.3f  %10.3f  %+.1f%%\n",
+				r.Mode, r.FSHours/nlft.HoursPerYear, r.NLFTHours/nlft.HoursPerYear, 100*r.Gain)
+		}
+	}
+	if headline {
+		did = true
+		h, err := nlft.ComputeHeadline(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("one-year reliability (degraded): FS %.4f → NLFT %.4f (%+.1f%%; paper: 0.45 → 0.70, +55%%)\n",
+			h.ROneYearFS, h.ROneYearNLFT, 100*h.RGain)
+		fmt.Printf("MTTF (degraded): FS %.3f y → NLFT %.3f y (%+.1f%%; paper: 1.2 → 1.9, ≈+60%%)\n",
+			h.MTTFYearsFS, h.MTTFYearsNLFT, 100*h.MTTFGain)
+	}
+	if !did {
+		return fmt.Errorf("nothing to do; pass -fig 12|13|14, -mttf or -headline")
+	}
+	return nil
+}

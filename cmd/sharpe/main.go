@@ -1,0 +1,184 @@
+// Command sharpe evaluates a dependability model file written in the
+// SHARPE-like input language (see internal/sharpe): Markov chains,
+// reliability block diagrams and fault trees composed hierarchically,
+// with reliability and MTTF measures.
+//
+// Usage:
+//
+//	sharpe [-vary name=lo:hi:steps] [model.shp]
+//
+// With no argument, it evaluates the paper's built-in brake-by-wire
+// model (FS nodes, degraded functionality). The -vary flag re-evaluates
+// the model over a linear sweep of one variable — e.g.
+// `-vary cd=0.9:0.999:4` regenerates a Figure 14-style coverage sweep
+// from a model file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sharpe"
+)
+
+// builtinModel is the paper's degraded-mode FS model in the input
+// language, as a usage example.
+const builtinModel = `
+* Brake-by-wire reliability (DSN'05 paper), fail-silent nodes,
+* degraded functionality mode.
+var lp 1.82e-5          # permanent fault rate (per hour)
+var lt 10*lp            # transient fault rate
+var cd 0.99             # error detection coverage
+var mur 1.2e3           # restart repair rate
+
+markov cufs
+  trans 0 1 2*lp*cd
+  trans 0 2 2*lt*cd
+  trans 0 F 2*(lp+lt)*(1-cd)
+  trans 2 0 mur
+  trans 1 F lp+lt
+  trans 2 F lp+lt
+  init 0
+  fail F
+end
+
+markov wheelsfs
+  trans 0 1 4*lp*cd
+  trans 0 2 4*lt*cd
+  trans 0 F 4*(lp+lt)*(1-cd)
+  trans 2 0 mur
+  trans 1 F 3*(lp+lt)
+  trans 2 F 3*(lp+lt)
+  init 0
+  fail F
+end
+
+ftree bbw
+  model cu cufs
+  model wheels wheelsfs
+  or sysfail cu wheels
+  top sysfail
+end
+
+eval bbw reliability 8760
+eval bbw mttf
+eval bbw curve 8760 8
+`
+
+func main() {
+	vary := flag.String("vary", "", "sweep one variable: name=lo:hi:steps")
+	flag.Parse()
+	if err := run(flag.Args(), *vary); err != nil {
+		fmt.Fprintln(os.Stderr, "sharpe:", err)
+		os.Exit(1)
+	}
+}
+
+// parseVary decodes name=lo:hi:steps into the sweep values.
+func parseVary(spec string) (name string, values []float64, err error) {
+	name, rng, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("vary needs name=lo:hi:steps, got %q", spec)
+	}
+	parts := strings.Split(rng, ":")
+	if len(parts) != 3 {
+		return "", nil, fmt.Errorf("vary range needs lo:hi:steps, got %q", rng)
+	}
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return "", nil, err
+	}
+	hi, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return "", nil, err
+	}
+	steps, err := strconv.Atoi(parts[2])
+	if err != nil || steps < 1 {
+		return "", nil, fmt.Errorf("bad step count %q", parts[2])
+	}
+	for i := 0; i <= steps; i++ {
+		values = append(values, lo+(hi-lo)*float64(i)/float64(steps))
+	}
+	return name, values, nil
+}
+
+func run(args []string, vary string) error {
+	var src string
+	if len(args) == 0 {
+		fmt.Println("(no model file given; evaluating the built-in brake-by-wire model)")
+		src = builtinModel
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	if vary != "" {
+		name, values, err := parseVary(vary)
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			fmt.Printf("--- %s = %g ---\n", name, v)
+			res, err := sharpe.ParseWithVars(strings.NewReader(src), sharpe.Env{name: v})
+			if err != nil {
+				return err
+			}
+			if err := evaluate(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	res, err := sharpe.ParseString(src)
+	if err != nil {
+		return err
+	}
+	return evaluate(res)
+}
+
+func evaluate(res *sharpe.ParseResult) error {
+	if len(res.Evals) == 0 {
+		return fmt.Errorf("model defines no eval requests")
+	}
+	for _, req := range res.Evals {
+		m, err := res.System.Model(req.Model)
+		if err != nil {
+			return err
+		}
+		switch req.Kind {
+		case sharpe.EvalReliability:
+			r, err := m.Reliability(req.Hours)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: R(%g h) = %.6f\n", req.Model, req.Hours, r)
+		case sharpe.EvalMTTF:
+			v, err := m.MTTF()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: MTTF = %.1f h (%.3f years)\n", req.Model, v, v/8760)
+		case sharpe.EvalCurve:
+			pts, err := res.System.Curve(req.Model, req.Hours, req.Steps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: reliability curve over %g h\n", req.Model, req.Hours)
+			for _, pt := range pts {
+				fmt.Printf("  %10.1f  %.6f\n", pt.Hours, pt.R)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// State-recovery walk-through: the paper's §4 future-work item,
+// implemented. A duplex pair of stateful nodes runs a replicated
+// counter task. One node is killed; after its 3-second restart it does
+// NOT rejoin with cold state — while still excluded from the
+// time-triggered slots it requests the partner's committed state
+// through the event-triggered (dynamic) segment of the FlexRay-like
+// bus, installs it, and only then reintegrates. The replicas stay
+// consistent.
+//
+// Run with: go run ./examples/staterecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cpu"
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/node"
+	"repro/internal/ttnet"
+)
+
+const counterSrc = `
+	.org 0x0000
+start:
+	li r1, 0x8000       ; persistent state
+	ld r2, [r1]
+	addi r2, r2, 1
+	st r2, [r1]
+	li r3, 0xFFFF0000
+	st r2, [r3+4]       ; publish the count
+	sys 2
+`
+
+func factory() func(sim *des.Simulator, env kernel.Env) (*kernel.Kernel, error) {
+	prog := cpu.MustAssemble(counterSrc)
+	return func(sim *des.Simulator, env kernel.Env) (*kernel.Kernel, error) {
+		k := kernel.New(sim, env, kernel.Config{})
+		err := k.AddTask(kernel.TaskSpec{
+			Name: "counter", Program: prog, Entry: "start",
+			Period: 10 * des.Millisecond, Deadline: 10 * des.Millisecond,
+			Priority: 5, Criticality: kernel.Critical,
+			Budget:      des.Millisecond,
+			OutputPorts: []uint32{1},
+			DataStart:   0x8000, DataWords: 4,
+			StackStart: 0xC000, StackWords: 64,
+		})
+		return k, err
+	}
+}
+
+func main() {
+	sim := des.New()
+	bus, err := ttnet.NewBus(sim, ttnet.Config{
+		StaticSlots: 2,
+		SlotLen:     des.Millisecond,
+		DynamicLen:  2 * des.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(name string, slot int) *node.HostedNode {
+		h, err := node.NewHosted(sim, bus, node.HostedConfig{
+			Name: name, BuildKernel: factory(), Slot: slot,
+			TxPorts: []uint32{1}, RestartDelay: 3 * des.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	a, b := mk("cuA", 0), mk("cuB", 1)
+	sync, err := node.NewStateSync(a, b, node.StateSyncConfig{
+		DataStart: 0x8000, DataWords: 4, Priority: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a.OnStateChange = func(name string, down bool, at des.Time) {
+		if down {
+			fmt.Printf("t=%.3fs  %s FAIL-SILENT (counter was %d)\n",
+				at.Seconds(), name, a.LocalOutput(1))
+		} else {
+			fmt.Printf("t=%.3fs  %s reintegrated with counter %d (partner at %d)\n",
+				at.Seconds(), name, a.Kernel().Mem().Peek(0x8000), b.LocalOutput(1))
+		}
+	}
+	if err := bus.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Kill node A after two seconds of counting.
+	sim.Schedule(2*des.Second, des.PrioInject, func() {
+		a.Kernel().ForceFailSilent("injected kernel fault")
+	})
+	if err := sim.RunUntil(8 * des.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nafter 8 s: A=%d B=%d (replicas consistent: Δ=%d)\n",
+		a.LocalOutput(1), b.LocalOutput(1), int64(b.LocalOutput(1))-int64(a.LocalOutput(1)))
+	fmt.Printf("warm recoveries: %d, cold resumes: %d\n", sync.Recoveries, sync.ColdResumes)
+	fmt.Println("\nwithout the protocol, A would have rejoined at counter ≈ 300 instead of ≈ 800.")
+}

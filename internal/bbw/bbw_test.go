@@ -1,0 +1,382 @@
+package bbw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+)
+
+func TestFrictionCurveShape(t *testing.T) {
+	if friction(0) != 0 {
+		t.Error("μ(0) != 0")
+	}
+	if friction(0.15) != 1.0 {
+		t.Errorf("μ(peak) = %v", friction(0.15))
+	}
+	if friction(1) != 0.7 {
+		t.Errorf("μ(locked) = %v", friction(1))
+	}
+	if friction(2) != 0.7 {
+		t.Errorf("μ(>1) = %v", friction(2))
+	}
+	if !(friction(0.5) < friction(0.15) && friction(0.5) > friction(1)) {
+		t.Error("fall-off not monotone")
+	}
+	if friction(-0.1) != 0 {
+		t.Error("negative slip produced force")
+	}
+}
+
+func TestVehicleCoastsWithoutBrakes(t *testing.T) {
+	v := NewVehicle(1500, 30)
+	for i := 0; i < 200; i++ {
+		v.Step(0.005, [4]float64{})
+	}
+	if v.Speed < 29.99 {
+		t.Errorf("speed dropped to %v without braking", v.Speed)
+	}
+	if v.Distance < 29 {
+		t.Errorf("distance = %v after 1 s at 30 m/s", v.Distance)
+	}
+}
+
+func TestVehicleStopsUnderBraking(t *testing.T) {
+	v := NewVehicle(1500, 30)
+	forces := [4]float64{3000, 3000, 3000, 3000}
+	steps := 0
+	for !v.Stopped() && steps < 10000 {
+		v.Step(0.005, forces)
+		steps++
+	}
+	if !v.Stopped() {
+		t.Fatal("vehicle never stopped")
+	}
+	ideal := IdealStoppingDistance(30)
+	locked := LockedStoppingDistance(30)
+	if v.Distance < ideal*0.95 {
+		t.Errorf("distance %v beats physics bound %v", v.Distance, ideal)
+	}
+	if v.Distance > locked*1.3 {
+		t.Errorf("distance %v far beyond locked-wheel bound %v", v.Distance, locked)
+	}
+}
+
+func TestVehicleSlipClamped(t *testing.T) {
+	check := func(speedRaw, wheelRaw uint8) bool {
+		v := NewVehicle(1500, float64(speedRaw)+1)
+		v.Wheels[0] = float64(wheelRaw)
+		s := v.Slip(0)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramsAssemble(t *testing.T) {
+	if CUProgram().SizeBytes() == 0 {
+		t.Error("CU program empty")
+	}
+	if WheelProgram().SizeBytes() == 0 {
+		t.Error("wheel program empty")
+	}
+}
+
+// baselineResult runs a fault-free stop and caches it per node kind.
+func baselineResult(t *testing.T, kind NodeKind) *Result {
+	t.Helper()
+	res, err := Run(Scenario{
+		Config:    SystemConfig{Kind: kind},
+		Duration:  8 * des.Second,
+		StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFaultFreeBrakingNLFT(t *testing.T) {
+	res := baselineResult(t, NLFTNodes)
+	if !res.Stopped {
+		t.Fatalf("vehicle did not stop: final speed %v", res.FinalSpeed)
+	}
+	ideal := IdealStoppingDistance(30)
+	locked := LockedStoppingDistance(30)
+	if res.StoppingDistance < ideal*0.95 || res.StoppingDistance > locked*1.5 {
+		t.Errorf("stopping distance %v outside [%v, %v]",
+			res.StoppingDistance, ideal, locked*1.5)
+	}
+	for _, n := range res.Nodes {
+		if n.Down || n.Failures > 0 {
+			t.Errorf("node %s unexpectedly failed", n.Name)
+		}
+		if n.OK == 0 {
+			t.Errorf("node %s committed nothing", n.Name)
+		}
+		if n.Masked != 0 || n.Omissions != 0 {
+			t.Errorf("node %s saw phantom errors: %+v", n.Name, n)
+		}
+	}
+	if len(res.Samples) == 0 {
+		t.Error("no trace samples")
+	}
+}
+
+func TestFaultFreeBrakingFS(t *testing.T) {
+	res := baselineResult(t, FSNodes)
+	if !res.Stopped {
+		t.Fatal("FS system did not stop the vehicle")
+	}
+	// Fail-silent nodes execute a single copy: same control behaviour in
+	// the fault-free case, so distances must agree closely.
+	nl := baselineResult(t, NLFTNodes)
+	diff := res.StoppingDistance - nl.StoppingDistance
+	if diff < -2 || diff > 2 {
+		t.Errorf("FS %.2f m vs NLFT %.2f m differ beyond tolerance",
+			res.StoppingDistance, nl.StoppingDistance)
+	}
+}
+
+// midCopyInjection targets wn1's command register in the middle of a
+// task copy: the release fires at 500 ms, the context switch costs
+// 200 cycles (4 µs at 50 MHz), and the copy runs ~55 cycles, so 4.6 µs
+// after the release lands mid-copy while r2 holds the brake command.
+func midCopyInjection() Injection {
+	return Injection{
+		At:   500*des.Millisecond + 4600*des.Nanosecond,
+		Node: "wn1",
+		Kind: InjRegister,
+		Reg:  2,
+		Bit:  9,
+	}
+}
+
+// TestRegisterFaultMaskedMidBraking: a transient register fault in a
+// wheel node during braking is masked by TEM; braking is unaffected.
+func TestRegisterFaultMaskedMidBraking(t *testing.T) {
+	base := baselineResult(t, NLFTNodes)
+	res, err := Run(Scenario{
+		Config:     SystemConfig{Kind: NLFTNodes},
+		Duration:   8 * des.Second,
+		Injections: []Injection{midCopyInjection()},
+		StopEarly:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("vehicle did not stop")
+	}
+	if res.TotalMasked() == 0 {
+		t.Error("register fault was not masked by TEM")
+	}
+	wn1, _ := res.NodeReportByName("wn1")
+	if wn1.Masked == 0 {
+		t.Errorf("wn1 report: %+v", wn1)
+	}
+	if wn1.Down || wn1.Failures > 0 {
+		t.Error("NLFT node failed on a maskable fault")
+	}
+	diff := res.StoppingDistance - base.StoppingDistance
+	if diff < -1 || diff > 1 {
+		t.Errorf("masked fault changed stopping distance: %v vs %v",
+			res.StoppingDistance, base.StoppingDistance)
+	}
+}
+
+// TestRegisterFaultOnFSNodeIsSilentlyWrong: the same fault on a
+// fail-silent node has no TEM comparison to catch it; nothing is masked
+// and no node fails — the wrong value simply goes out (a non-covered
+// error, exactly the class §3.2.1 calls dangerous).
+func TestRegisterFaultOnFSNodeIsSilentlyWrong(t *testing.T) {
+	res, err := Run(Scenario{
+		Config:     SystemConfig{Kind: FSNodes},
+		Duration:   8 * des.Second,
+		Injections: []Injection{midCopyInjection()},
+		StopEarly:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMasked() != 0 {
+		t.Error("FS node masked a fault (TEM should be off)")
+	}
+	wn1, _ := res.NodeReportByName("wn1")
+	if wn1.Failures > 0 {
+		t.Error("register data fault should escape FS detection, not down the node")
+	}
+}
+
+// TestKilledCentralUnitToleratedByDuplex: killing CU1 mid-braking leaves
+// braking almost unaffected — the wheels switch to CU2's commands.
+func TestKilledCentralUnitToleratedByDuplex(t *testing.T) {
+	base := baselineResult(t, NLFTNodes)
+	res, err := Run(Scenario{
+		Config:   SystemConfig{Kind: NLFTNodes},
+		Duration: 8 * des.Second,
+		Injections: []Injection{
+			{At: 300 * des.Millisecond, Node: "cu1", Kind: InjKill},
+		},
+		StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("vehicle did not stop after CU1 loss")
+	}
+	cu1, _ := res.NodeReportByName("cu1")
+	if cu1.Failures != 1 {
+		t.Errorf("cu1 failures = %d", cu1.Failures)
+	}
+	diff := res.StoppingDistance - base.StoppingDistance
+	if diff < -2 || diff > 2 {
+		t.Errorf("duplex failover cost %v m (base %v, got %v)",
+			diff, base.StoppingDistance, res.StoppingDistance)
+	}
+}
+
+// TestKilledWheelNodeDegradesBraking: killing a wheel node lengthens the
+// stop (degraded functionality, §3.1), but the vehicle still stops and
+// the central unit redistributes force to the remaining wheels.
+func TestKilledWheelNodeDegradesBraking(t *testing.T) {
+	base := baselineResult(t, NLFTNodes)
+	res, err := Run(Scenario{
+		Config:   SystemConfig{Kind: NLFTNodes},
+		Duration: 12 * des.Second,
+		Injections: []Injection{
+			{At: 300 * des.Millisecond, Node: "wn2", Kind: InjKill},
+		},
+		StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("vehicle did not stop; final speed %v", res.FinalSpeed)
+	}
+	if res.StoppingDistance <= base.StoppingDistance {
+		t.Errorf("degraded stop %v not longer than baseline %v",
+			res.StoppingDistance, base.StoppingDistance)
+	}
+	// Redistribution: after the kill, surviving wheels should see larger
+	// commands than the baseline per-wheel force.
+	sawBoost := false
+	for _, s := range res.Samples {
+		if s.T > time1s() && s.Forces[0] > MaxBrakeForcePerWheel+200 {
+			sawBoost = true
+			break
+		}
+	}
+	if !sawBoost {
+		t.Error("no force redistribution observed on surviving wheels")
+	}
+}
+
+func time1s() des.Time { return des.Second }
+
+// TestScenarioValidation covers the error paths.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{
+		Config:     SystemConfig{},
+		Injections: []Injection{{Node: "nope", Kind: InjKill}},
+	}); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := Run(Scenario{
+		Config:     SystemConfig{},
+		Duration:   des.Second,
+		Injections: []Injection{{At: 2 * des.Second, Node: "cu1", Kind: InjKill}},
+	}); err == nil {
+		t.Error("out-of-window injection accepted")
+	}
+}
+
+func TestSystemNodeLookup(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append(append([]string(nil), CUNames...), WheelNames...) {
+		if _, err := sys.Node(name); err != nil {
+			t.Errorf("Node(%s): %v", name, err)
+		}
+	}
+	if _, err := sys.Node("bogus"); err == nil {
+		t.Error("bogus node accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if NLFTNodes.String() != "NLFT" || FSNodes.String() != "FS" {
+		t.Error("kind strings")
+	}
+	for _, k := range []InjKind{InjKill, InjRegister, InjPC, InjALU} {
+		if k.String() == "" {
+			t.Error("unnamed injection kind")
+		}
+	}
+}
+
+func BenchmarkBrakingScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Scenario{
+			Config:    SystemConfig{Kind: NLFTNodes},
+			Duration:  8 * des.Second,
+			StopEarly: true,
+		})
+		if err != nil || !res.Stopped {
+			b.Fatal("scenario failed")
+		}
+	}
+}
+
+// TestPartialBrakingNoABS: at 30% pedal the wheels stay near the
+// friction peak without slipping past 20%, so the slip controller never
+// halves the command — the bang-bang ABS only engages under hard
+// braking at lower speeds.
+func TestPartialBrakingNoABS(t *testing.T) {
+	res, err := Run(Scenario{
+		Config: SystemConfig{
+			Kind: NLFTNodes,
+			PedalFn: func(at des.Time) uint32 {
+				if at < 100*des.Millisecond {
+					return 0
+				}
+				return 300 // 30% pedal
+			},
+		},
+		Duration:  20 * des.Second,
+		StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("vehicle did not stop from partial braking: %v m/s", res.FinalSpeed)
+	}
+	// Commanded per-wheel force is 300·12/4 = 900 N; while the vehicle is
+	// fast the slip stays low, so the ABS halving to 450 must not appear.
+	// (Near standstill the slip ratio (v−ω)/v legitimately rises and the
+	// controller correctly releases — that region is excluded.)
+	for _, s := range res.Samples {
+		if s.SpeedMS < 10 {
+			continue
+		}
+		for w, f := range s.Forces {
+			if f > 0 && f < 899 {
+				t.Fatalf("ABS engaged during gentle braking: wheel %d force %v at %v",
+					w, f, s.T)
+			}
+		}
+	}
+	// Gentle braking stops much longer than a full stop.
+	full := baselineResult(t, NLFTNodes)
+	if res.StoppingDistance < full.StoppingDistance*1.5 {
+		t.Errorf("partial braking distance %v vs full %v",
+			res.StoppingDistance, full.StoppingDistance)
+	}
+}

@@ -1,0 +1,99 @@
+package bbw
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestChaosRandomInjections drives the full stack through randomized
+// fault storms: random kills and CPU corruptions across all six nodes
+// at random instants. The assertions are invariants, not outcomes:
+// scenarios complete without error, distances accumulate monotonically,
+// forces stay in range, and node accounting stays consistent.
+func TestChaosRandomInjections(t *testing.T) {
+	names := append(append([]string(nil), CUNames...), WheelNames...)
+	rng := des.NewRand(2026)
+	for trial := 0; trial < 12; trial++ {
+		var inj []Injection
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			node := names[rng.Intn(len(names))]
+			at := des.Time(rng.Intn(int(4 * des.Second)))
+			switch rng.Intn(4) {
+			case 0:
+				inj = append(inj, Injection{At: at, Node: node, Kind: InjKill})
+			case 1:
+				inj = append(inj, Injection{At: at, Node: node, Kind: InjRegister,
+					Reg: 1 + rng.Intn(12), Bit: uint(rng.Intn(32))})
+			case 2:
+				inj = append(inj, Injection{At: at, Node: node, Kind: InjPC,
+					Bit: uint(rng.Intn(20))})
+			default:
+				inj = append(inj, Injection{At: at, Node: node, Kind: InjALU,
+					Mask: 1 << uint(rng.Intn(32))})
+			}
+		}
+		res, err := Run(Scenario{
+			Config:     SystemConfig{Kind: NLFTNodes},
+			Duration:   6 * des.Second,
+			Injections: inj,
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, inj, err)
+		}
+		// Invariants.
+		prevDist := -1.0
+		for _, s := range res.Samples {
+			if s.Distance < prevDist {
+				t.Fatalf("trial %d: distance went backwards", trial)
+			}
+			prevDist = s.Distance
+			for w, f := range s.Forces {
+				if f < 0 || f > 4*MaxBrakeForcePerWheel {
+					t.Fatalf("trial %d: wheel %d force %v out of range", trial, w, f)
+				}
+			}
+			if s.SpeedMS < 0 || s.SpeedMS > 31 {
+				t.Fatalf("trial %d: speed %v out of range", trial, s.SpeedMS)
+			}
+		}
+		if res.StoppingDistance < 0 || res.StoppingDistance > 200 {
+			t.Fatalf("trial %d: distance %v absurd", trial, res.StoppingDistance)
+		}
+		for _, nr := range res.Nodes {
+			if nr.OK == 0 && nr.Failures == 0 && nr.Omissions == 0 {
+				t.Errorf("trial %d: node %s did nothing at all", trial, nr.Name)
+			}
+		}
+	}
+}
+
+// TestChaosFSNodesAlsoSurvive runs the same storm against the FS
+// baseline: no panics, consistent accounting (FS nodes mask nothing).
+func TestChaosFSNodesAlsoSurvive(t *testing.T) {
+	rng := des.NewRand(7)
+	names := append(append([]string(nil), CUNames...), WheelNames...)
+	for trial := 0; trial < 6; trial++ {
+		var inj []Injection
+		for i := 0; i < 3; i++ {
+			inj = append(inj, Injection{
+				At:   des.Time(rng.Intn(int(3 * des.Second))),
+				Node: names[rng.Intn(len(names))],
+				Kind: InjPC,
+				Bit:  uint(rng.Intn(16)),
+			})
+		}
+		res, err := Run(Scenario{
+			Config:     SystemConfig{Kind: FSNodes},
+			Duration:   6 * des.Second,
+			Injections: inj,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.TotalMasked() != 0 {
+			t.Errorf("trial %d: FS nodes masked %d", trial, res.TotalMasked())
+		}
+	}
+}

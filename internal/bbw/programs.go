@@ -1,0 +1,159 @@
+package bbw
+
+import "repro/internal/cpu"
+
+// I/O port assignments for the node programs.
+//
+// Central-unit nodes:
+//
+//	in  0: pedal position (0..1000)
+//	in  1: wheel-alive mask (bits 0..3, from bus membership)
+//	out 2..5: per-wheel brake-force commands (N)
+//
+// Wheel nodes:
+//
+//	in  0: command from CU1 (own wheel's word)
+//	in  1: command from CU2
+//	in  2: CU-alive mask (bit 0 = CU1, bit 1 = CU2)
+//	in  3: wheel speed (mm/s)
+//	in  4: vehicle speed (mm/s)
+//	out 5: actuator brake force (N)
+const (
+	CUPortPedal     = 0
+	CUPortWheelMask = 1
+	CUPortCmdBase   = 2
+
+	WheelPortCmdA     = 0
+	WheelPortCmdB     = 1
+	WheelPortCUMask   = 2
+	WheelPortSpeed    = 3
+	WheelPortVehSpeed = 4
+	WheelPortActuator = 5
+)
+
+// MaxBrakeForcePerWheel is the command saturation (N) at full pedal with
+// all four wheels alive.
+const MaxBrakeForcePerWheel = 3000
+
+// cuSrc is the central-unit task: distribute the requested total brake
+// force evenly over the wheels the membership service reports alive —
+// the degraded-functionality redistribution of §3.1.
+const cuSrc = `
+	.org 0x0000
+start:
+	sig 1
+	li r1, 0xFFFF0000
+	ld r2, [r1+0]        ; pedal 0..1000
+	ld r3, [r1+4]        ; wheel-alive mask
+	movi r4, 15
+	and r3, r3, r4
+	movi r4, 12          ; total force gain: 1000 * 12 = 12000 N
+	mul r2, r2, r4
+	; popcount of the 4-bit mask
+	movi r5, 0
+	mov r6, r3
+	movi r7, 4
+count:
+	movi r8, 1
+	and r8, r6, r8
+	add r5, r5, r8
+	movi r8, 1
+	shr r6, r6, r8
+	addi r7, r7, -1
+	cmpi r7, 0
+	bgt count
+	sig 2
+	cmpi r5, 0
+	beq zero
+	div r2, r2, r5       ; share per alive wheel
+	jmp emit
+zero:
+	movi r2, 0
+emit:
+	; wheel 0 → port 2 (offset 8)
+	movi r9, 1
+	and r10, r3, r9
+	cmpi r10, 0
+	beq w0z
+	st r2, [r1+8]
+	jmp w1
+w0z:
+	movi r11, 0
+	st r11, [r1+8]
+w1:
+	movi r9, 2
+	and r10, r3, r9
+	cmpi r10, 0
+	beq w1z
+	st r2, [r1+12]
+	jmp w2
+w1z:
+	movi r11, 0
+	st r11, [r1+12]
+w2:
+	movi r9, 4
+	and r10, r3, r9
+	cmpi r10, 0
+	beq w2z
+	st r2, [r1+16]
+	jmp w3
+w2z:
+	movi r11, 0
+	st r11, [r1+16]
+w3:
+	movi r9, 8
+	and r10, r3, r9
+	cmpi r10, 0
+	beq w3z
+	st r2, [r1+20]
+	jmp done
+w3z:
+	movi r11, 0
+	st r11, [r1+20]
+done:
+	sig 3
+	sys 2
+`
+
+// wheelSrc is the wheel-node task: select the live central unit's
+// command (duplex receiver-side selection), run a bang-bang slip
+// controller (release half the force above 20% slip), and drive the
+// actuator.
+const wheelSrc = `
+	.org 0x0000
+start:
+	sig 1
+	li r1, 0xFFFF0000
+	ld r2, [r1+0]        ; command from CU1
+	ld r3, [r1+4]        ; command from CU2
+	ld r4, [r1+8]        ; CU-alive mask
+	movi r5, 1
+	and r5, r4, r5
+	cmpi r5, 0
+	bne haveA
+	mov r2, r3           ; CU1 silent: take CU2's command
+haveA:
+	ld r6, [r1+12]       ; wheel speed (mm/s)
+	ld r7, [r1+16]       ; vehicle speed (mm/s)
+	sig 2
+	cmpi r7, 0
+	beq apply
+	sub r8, r7, r6       ; speed difference
+	movi r9, 1000
+	mul r8, r8, r9
+	div r8, r8, r7       ; slip in permille
+	cmpi r8, 200
+	ble apply
+	movi r9, 2           ; ABS: slip > 20%, release half the force
+	div r2, r2, r9
+apply:
+	st r2, [r1+20]       ; actuator
+	sig 3
+	sys 2
+`
+
+// CUProgram returns the assembled central-unit task.
+func CUProgram() *cpu.Program { return cpu.MustAssemble(cuSrc) }
+
+// WheelProgram returns the assembled wheel-node task.
+func WheelProgram() *cpu.Program { return cpu.MustAssemble(wheelSrc) }

@@ -1,0 +1,182 @@
+package bbw
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ttnet"
+)
+
+// InjKind selects the fault applied by a scenario injection.
+type InjKind int
+
+// Injection kinds.
+const (
+	// InjKill forces the node's kernel fail-silent (kernel fault).
+	InjKill InjKind = iota + 1
+	// InjRegister flips a bit of a CPU register on the node.
+	InjRegister
+	// InjPC flips a bit of the node's program counter.
+	InjPC
+	// InjALU corrupts the node's next ALU result.
+	InjALU
+)
+
+// String names the kind.
+func (k InjKind) String() string {
+	switch k {
+	case InjKill:
+		return "kill"
+	case InjRegister:
+		return "register"
+	case InjPC:
+		return "pc"
+	case InjALU:
+		return "alu"
+	default:
+		return fmt.Sprintf("inj(%d)", int(k))
+	}
+}
+
+// Injection is one scheduled fault in a scenario.
+type Injection struct {
+	At   des.Time
+	Node string
+	Kind InjKind
+	Reg  int
+	Bit  uint
+	Mask uint32
+}
+
+// Scenario describes one braking experiment.
+type Scenario struct {
+	// System configuration (node kind, speed, mass, ...).
+	Config SystemConfig
+	// Duration bounds the simulation.
+	Duration des.Time
+	// Injections are the faults applied during braking.
+	Injections []Injection
+	// StopEarly ends the run as soon as the vehicle stands still.
+	StopEarly bool
+}
+
+// NodeReport summarizes one node after a scenario.
+type NodeReport struct {
+	Name      string
+	Down      bool
+	Failures  uint64
+	OK        uint64
+	Masked    uint64
+	Omissions uint64
+}
+
+// Result is a completed scenario.
+type Result struct {
+	Kind             NodeKind
+	Stopped          bool
+	StopTime         des.Time
+	StoppingDistance float64
+	FinalSpeed       float64
+	Samples          []Sample
+	Nodes            []NodeReport
+	Bus              ttnet.Stats
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) (*Result, error) {
+	if sc.Duration <= 0 {
+		sc.Duration = 10 * des.Second
+	}
+	sys, err := NewSystem(sc.Config)
+	if err != nil {
+		return nil, err
+	}
+	for _, inj := range sc.Injections {
+		inj := inj
+		n, err := sys.Node(inj.Node)
+		if err != nil {
+			return nil, err
+		}
+		if inj.At < 0 || inj.At > sc.Duration {
+			return nil, fmt.Errorf("bbw: injection at %v outside scenario", inj.At)
+		}
+		sys.Sim.Schedule(inj.At, des.PrioInject, func() {
+			if n.Down() {
+				return
+			}
+			switch inj.Kind {
+			case InjKill:
+				n.Kernel().ForceFailSilent("injected kernel fault")
+			case InjRegister:
+				n.Kernel().Proc().FlipRegister(inj.Reg, inj.Bit)
+			case InjPC:
+				n.Kernel().Proc().FlipPC(inj.Bit)
+			case InjALU:
+				n.Kernel().Proc().InjectALUFault(inj.Mask)
+			}
+		})
+	}
+
+	if sc.StopEarly {
+		// Poll for standstill at the sampling cadence.
+		var watch func()
+		watch = func() {
+			if stopped, _ := sys.Stopped(); stopped {
+				sys.Sim.Stop()
+				return
+			}
+			sys.Sim.Schedule(sys.Sim.Now()+50*des.Millisecond, des.PrioObserver, watch)
+		}
+		sys.Sim.Schedule(50*des.Millisecond, des.PrioObserver, watch)
+	}
+
+	if err := sys.Sim.RunUntil(sc.Duration); err != nil && err != des.ErrStopped {
+		return nil, err
+	}
+
+	stopped, stopAt := sys.Stopped()
+	res := &Result{
+		Kind:             sc.Config.Kind,
+		Stopped:          stopped,
+		StopTime:         stopAt,
+		StoppingDistance: sys.Vehicle.Distance,
+		FinalSpeed:       sys.Vehicle.Speed,
+		Samples:          sys.Samples(),
+		Bus:              sys.Bus.Stats(),
+	}
+	for _, name := range append(append([]string(nil), CUNames...), WheelNames...) {
+		n, err := sys.Node(name)
+		if err != nil {
+			return nil, err
+		}
+		c := sys.Counters[name]
+		res.Nodes = append(res.Nodes, NodeReport{
+			Name:      name,
+			Down:      n.Down(),
+			Failures:  n.Failures,
+			OK:        c.OK,
+			Masked:    c.Masked,
+			Omissions: c.Omissions,
+		})
+	}
+	return res, nil
+}
+
+// NodeReportByName finds a node's report.
+func (r *Result) NodeReportByName(name string) (NodeReport, bool) {
+	for _, n := range r.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return NodeReport{}, false
+}
+
+// TotalMasked sums masked releases across all nodes.
+func (r *Result) TotalMasked() uint64 {
+	var sum uint64
+	for _, n := range r.Nodes {
+		sum += n.Masked
+	}
+	return sum
+}

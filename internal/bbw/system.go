@@ -1,0 +1,357 @@
+package bbw
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/node"
+	"repro/internal/ttnet"
+)
+
+// NodeKind selects the node-level fault-tolerance policy for every node
+// in the system (the paper's comparison axis).
+type NodeKind int
+
+// Node kinds.
+const (
+	// NLFTNodes run the light-weight NLFT kernel (TEM on critical tasks).
+	NLFTNodes NodeKind = iota + 1
+	// FSNodes run conventional fail-silent kernels: single execution,
+	// any detected error silences the node until restart.
+	FSNodes
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NLFTNodes:
+		return "NLFT"
+	case FSNodes:
+		return "FS"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node names in the architecture.
+var (
+	// CUNames are the duplex central-unit nodes.
+	CUNames = []string{"cu1", "cu2"}
+	// WheelNames are the four simplex wheel nodes (FL, FR, RL, RR).
+	WheelNames = []string{"wn1", "wn2", "wn3", "wn4"}
+)
+
+// System is the assembled brake-by-wire architecture on one simulator.
+type System struct {
+	Sim     *des.Simulator
+	Bus     *ttnet.Bus
+	Vehicle *Vehicle
+	CUs     [2]*node.HostedNode
+	Wheels  [4]*node.HostedNode
+	// PedalFn supplies the pedal position (0..1000) over time.
+	PedalFn func(t des.Time) uint32
+	// Counters per node name, accumulated across kernel restarts.
+	Counters map[string]*Counters
+
+	kind        NodeKind
+	taskPeriod  des.Time
+	stepPeriod  des.Time
+	stopAt      des.Time
+	stopped     bool
+	sampleEvery des.Time
+	samples     []Sample
+}
+
+// Counters aggregates release outcomes for one node across restarts.
+type Counters struct {
+	OK, Masked, Omissions uint64
+	ErrorsDetected        uint64
+}
+
+// Sample is one point of the recorded braking trace.
+type Sample struct {
+	T        des.Time
+	SpeedMS  float64
+	Distance float64
+	// Forces are the per-wheel actuator forces at the sample instant.
+	Forces [4]float64
+}
+
+// SystemConfig parameterizes the assembly.
+type SystemConfig struct {
+	// Kind selects NLFT or FS nodes. Default NLFTNodes.
+	Kind NodeKind
+	// InitialSpeed is the vehicle speed in m/s. Default 30 (108 km/h).
+	InitialSpeed float64
+	// MassKg is the vehicle mass. Default 1500.
+	MassKg float64
+	// TaskPeriod is the control task period. Default 5 ms.
+	TaskPeriod des.Time
+	// RestartDelay is the node restart time. Default 3 s (§3.3).
+	RestartDelay des.Time
+	// SampleEvery records a trace sample at this interval. Default 50 ms.
+	SampleEvery des.Time
+	// PedalFn overrides the pedal profile; default is full braking from
+	// 100 ms.
+	PedalFn func(t des.Time) uint32
+}
+
+func (c *SystemConfig) applyDefaults() {
+	if c.Kind == 0 {
+		c.Kind = NLFTNodes
+	}
+	if c.InitialSpeed == 0 {
+		c.InitialSpeed = 30
+	}
+	if c.MassKg == 0 {
+		c.MassKg = 1500
+	}
+	if c.TaskPeriod == 0 {
+		c.TaskPeriod = 5 * des.Millisecond
+	}
+	if c.RestartDelay == 0 {
+		c.RestartDelay = 3 * des.Second
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 50 * des.Millisecond
+	}
+	if c.PedalFn == nil {
+		c.PedalFn = func(t des.Time) uint32 {
+			if t < 100*des.Millisecond {
+				return 0
+			}
+			return 1000
+		}
+	}
+}
+
+// Node memory layout shared by all node kernels (each node has its own
+// memory, so the addresses may coincide).
+const (
+	nodeStack      = 0xC000
+	nodeStackWords = 256
+)
+
+// NewSystem assembles the architecture of Figure 4.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	cfg.applyDefaults()
+	sim := des.New()
+	bus, err := ttnet.NewBus(sim, ttnet.Config{
+		StaticSlots: 6,
+		SlotLen:     des.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Sim:         sim,
+		Bus:         bus,
+		Vehicle:     NewVehicle(cfg.MassKg, cfg.InitialSpeed),
+		PedalFn:     cfg.PedalFn,
+		Counters:    make(map[string]*Counters),
+		kind:        cfg.Kind,
+		taskPeriod:  cfg.TaskPeriod,
+		stepPeriod:  5 * des.Millisecond,
+		sampleEvery: cfg.SampleEvery,
+	}
+
+	failSilentOnError := cfg.Kind == FSNodes
+
+	factory := func(name string, prog *cpu.Program, inPorts, outPorts []uint32) func(*des.Simulator, kernel.Env) (*kernel.Kernel, error) {
+		counters := &Counters{}
+		s.Counters[name] = counters
+		return func(sim *des.Simulator, env kernel.Env) (*kernel.Kernel, error) {
+			k := kernel.New(sim, env, kernel.Config{
+				UseMMU:            true,
+				ECC:               true,
+				FailSilentOnError: failSilentOnError,
+			})
+			spec := kernel.TaskSpec{
+				Name:        name + "-ctrl",
+				Program:     prog,
+				Entry:       "start",
+				Period:      cfg.TaskPeriod,
+				Deadline:    cfg.TaskPeriod,
+				Priority:    10,
+				Criticality: kernel.Critical,
+				Budget:      cfg.TaskPeriod / 4,
+				InputPorts:  inPorts,
+				OutputPorts: outPorts,
+				StackStart:  nodeStack,
+				StackWords:  nodeStackWords,
+			}
+			if err := k.AddTask(spec); err != nil {
+				return nil, err
+			}
+			k.OnOutcome = func(info kernel.OutcomeInfo) {
+				switch info.Outcome {
+				case kernel.OutcomeOK:
+					counters.OK++
+				case kernel.OutcomeMasked:
+					counters.Masked++
+					counters.ErrorsDetected += uint64(info.ErrorsDetected)
+				case kernel.OutcomeOmission:
+					counters.Omissions++
+					counters.ErrorsDetected += uint64(info.ErrorsDetected)
+				}
+			}
+			return k, nil
+		}
+	}
+
+	cuProg := CUProgram()
+	for i, name := range CUNames {
+		h, err := node.NewHosted(sim, bus, node.HostedConfig{
+			Name:         name,
+			BuildKernel:  factory(name, cuProg, []uint32{CUPortPedal, CUPortWheelMask}, []uint32{2, 3, 4, 5}),
+			Slot:         i,
+			TxPorts:      []uint32{2, 3, 4, 5},
+			RestartDelay: cfg.RestartDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.CUs[i] = h
+		// Start optimistic: all wheels alive.
+		h.SetLocalInput(CUPortWheelMask, 0xF)
+	}
+
+	wheelProg := WheelProgram()
+	for i, name := range WheelNames {
+		// Route word i of each CU frame into this wheel's command ports.
+		rxCU1 := make([]uint32, 4)
+		rxCU2 := make([]uint32, 4)
+		for w := 0; w < 4; w++ {
+			rxCU1[w] = node.RxIgnore
+			rxCU2[w] = node.RxIgnore
+		}
+		rxCU1[i] = WheelPortCmdA
+		rxCU2[i] = WheelPortCmdB
+		h, err := node.NewHosted(sim, bus, node.HostedConfig{
+			Name: name,
+			BuildKernel: factory(name, wheelProg,
+				[]uint32{WheelPortCmdA, WheelPortCmdB, WheelPortCUMask, WheelPortSpeed, WheelPortVehSpeed},
+				[]uint32{WheelPortActuator}),
+			Slot:    2 + i,
+			TxPorts: []uint32{WheelPortActuator},
+			RxMap: map[ttnet.NodeID][]uint32{
+				ttnet.NodeID(CUNames[0]): rxCU1,
+				ttnet.NodeID(CUNames[1]): rxCU2,
+			},
+			RestartDelay: cfg.RestartDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Wheels[i] = h
+		h.SetLocalInput(WheelPortCUMask, 0x3)
+	}
+
+	// Membership monitor: feed alive masks back into the nodes, the way
+	// the paper's system level consumes the TDMA membership service.
+	if _, err := bus.Attach("monitor", nil, nil, func(cycle uint64, tx map[ttnet.NodeID]bool) {
+		wheelMask := uint32(0)
+		for i, name := range WheelNames {
+			if tx[ttnet.NodeID(name)] {
+				wheelMask |= 1 << i
+			}
+		}
+		cuMask := uint32(0)
+		for i, name := range CUNames {
+			if tx[ttnet.NodeID(name)] {
+				cuMask |= 1 << i
+			}
+		}
+		for _, cu := range s.CUs {
+			cu.SetLocalInput(CUPortWheelMask, wheelMask)
+		}
+		for _, wheel := range s.Wheels {
+			wheel.SetLocalInput(WheelPortCUMask, cuMask)
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := bus.Start(); err != nil {
+		return nil, err
+	}
+	s.scheduleStep()
+	s.scheduleSample()
+	return s, nil
+}
+
+// Node returns a hosted node by name.
+func (s *System) Node(name string) (*node.HostedNode, error) {
+	for i, n := range CUNames {
+		if n == name {
+			return s.CUs[i], nil
+		}
+	}
+	for i, n := range WheelNames {
+		if n == name {
+			return s.Wheels[i], nil
+		}
+	}
+	return nil, fmt.Errorf("bbw: unknown node %q", name)
+}
+
+// scheduleStep drives the physics and sensor refresh.
+func (s *System) scheduleStep() {
+	s.Sim.Schedule(s.Sim.Now()+s.stepPeriod, des.PrioObserver, func() {
+		s.step()
+		s.scheduleStep()
+	})
+}
+
+// step advances the vehicle and refreshes every node's sensors.
+func (s *System) step() {
+	var forces [4]float64
+	for i, wheel := range s.Wheels {
+		if wheel.Down() {
+			continue // a silent wheel node applies no brake
+		}
+		forces[i] = clamp(float64(wheel.LocalOutput(WheelPortActuator)), 0, 2*MaxBrakeForcePerWheel*2)
+	}
+	s.Vehicle.Step(s.stepPeriod.Seconds(), forces)
+	if s.Vehicle.Stopped() && !s.stopped {
+		s.stopped = true
+		s.stopAt = s.Sim.Now()
+	}
+
+	pedal := s.PedalFn(s.Sim.Now())
+	for _, cu := range s.CUs {
+		cu.SetLocalInput(CUPortPedal, pedal)
+	}
+	vehMM := uint32(s.Vehicle.Speed * 1000)
+	for i, wheel := range s.Wheels {
+		wheel.SetLocalInput(WheelPortSpeed, uint32(s.Vehicle.Wheels[i]*1000))
+		wheel.SetLocalInput(WheelPortVehSpeed, vehMM)
+	}
+}
+
+// scheduleSample records the braking trace.
+func (s *System) scheduleSample() {
+	s.Sim.Schedule(s.Sim.Now()+s.sampleEvery, des.PrioObserver, func() {
+		var forces [4]float64
+		for i, wheel := range s.Wheels {
+			if !wheel.Down() {
+				forces[i] = float64(wheel.LocalOutput(WheelPortActuator))
+			}
+		}
+		s.samples = append(s.samples, Sample{
+			T:        s.Sim.Now(),
+			SpeedMS:  s.Vehicle.Speed,
+			Distance: s.Vehicle.Distance,
+			Forces:   forces,
+		})
+		s.scheduleSample()
+	})
+}
+
+// Stopped reports whether and when the vehicle stopped.
+func (s *System) Stopped() (bool, des.Time) { return s.stopped, s.stopAt }
+
+// Samples returns the recorded trace.
+func (s *System) Samples() []Sample { return s.samples }

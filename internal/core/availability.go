@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// The paper evaluates reliability (no repair of permanent faults,
+// §3.2.2). Vehicles, though, visit workshops: this file extends the
+// models with a permanent-repair rate μ_P, turning the BBW subsystems
+// into repairable systems, and evaluates availability measures —
+// steady-state availability and expected downtime per year — for the
+// FS-vs-NLFT comparison. The extension reuses the exact Figure 6/7/9/11
+// structure with two additional repair transitions.
+
+// AvailabilityParams extends Params with the permanent-repair rate.
+type AvailabilityParams struct {
+	Params
+	// MuP is the repair rate for permanent faults (repairs/hour); e.g.
+	// a 24-hour garage turnaround is 1/24 ≈ 0.042/h.
+	MuP float64
+}
+
+// DefaultAvailabilityParams returns the paper's parameters with a
+// 24-hour permanent-repair turnaround.
+func DefaultAvailabilityParams() AvailabilityParams {
+	return AvailabilityParams{Params: PaperParams(), MuP: 1.0 / 24}
+}
+
+// Validate checks the extended parameter set.
+func (a AvailabilityParams) Validate() error {
+	if err := a.Params.Validate(); err != nil {
+		return err
+	}
+	if a.MuP <= 0 {
+		return fmt.Errorf("core: MuP = %v", a.MuP)
+	}
+	return nil
+}
+
+// repairableCU builds the duplex central-unit model with repair of both
+// permanent faults (state 1, at μ_P) and the system-failure state
+// (state F, at μ_P — the whole unit is swapped). The failure state is
+// no longer absorbing, so steady-state measures exist.
+func repairableCU(a AvailabilityParams, nt NodeType) (*markov.Chain, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	var base *markov.Chain
+	var err error
+	switch nt {
+	case FS:
+		base, err = CentralUnitFS(a.Params)
+	case NLFT:
+		base, err = CentralUnitNLFT(a.Params)
+	default:
+		return nil, fmt.Errorf("core: unknown node type %v", nt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return withRepair(base, a.MuP)
+}
+
+// repairableWheels builds the degraded-mode wheel subsystem with repair.
+func repairableWheels(a AvailabilityParams, nt NodeType) (*markov.Chain, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	var base *markov.Chain
+	var err error
+	switch nt {
+	case FS:
+		base, err = WheelsDegradedFS(a.Params)
+	case NLFT:
+		base, err = WheelsDegradedNLFT(a.Params)
+	default:
+		return nil, fmt.Errorf("core: unknown node type %v", nt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return withRepair(base, a.MuP)
+}
+
+// withRepair rebuilds a chain adding StatePermanentDown→StateOK and
+// StateFailed→StateOK repair transitions at rate muP.
+func withRepair(base *markov.Chain, muP float64) (*markov.Chain, error) {
+	b := markov.NewBuilder()
+	states := base.States()
+	q := base.Generator()
+	for i, from := range states {
+		for j, to := range states {
+			if i == j {
+				continue
+			}
+			if r := q.At(i, j); r > 0 {
+				b.AddRate(from, to, r)
+			}
+		}
+	}
+	b.AddRate(StatePermanentDown, StateOK, muP)
+	b.AddRate(StateFailed, StateOK, muP)
+	return b.Build()
+}
+
+// AvailabilityReport carries the availability measures for one
+// subsystem and node type.
+type AvailabilityReport struct {
+	NodeType NodeType
+	// SteadyState is the long-run fraction of time the subsystem works
+	// (not in StateFailed).
+	SteadyState float64
+	// DowntimeHoursPerYear is the expected time in StateFailed over one
+	// year, starting from all-up.
+	DowntimeHoursPerYear float64
+}
+
+// BBWAvailability evaluates steady-state availability and expected
+// yearly downtime of the complete BBW system (series of the repairable
+// CU and degraded-mode wheel subsystems) for both node types.
+func BBWAvailability(a AvailabilityParams) (fs, nlft AvailabilityReport, err error) {
+	eval := func(nt NodeType) (AvailabilityReport, error) {
+		cu, err := repairableCU(a, nt)
+		if err != nil {
+			return AvailabilityReport{}, err
+		}
+		wn, err := repairableWheels(a, nt)
+		if err != nil {
+			return AvailabilityReport{}, err
+		}
+		rep := AvailabilityReport{NodeType: nt, SteadyState: 1}
+		downtime := 0.0
+		for _, chain := range []*markov.Chain{cu, wn} {
+			pi, err := chain.SteadyState()
+			if err != nil {
+				return AvailabilityReport{}, err
+			}
+			qf, err := chain.ProbIn(pi, StateFailed)
+			if err != nil {
+				return AvailabilityReport{}, err
+			}
+			rep.SteadyState *= 1 - qf
+			p0, err := chain.InitialAt(StateOK)
+			if err != nil {
+				return AvailabilityReport{}, err
+			}
+			d, err := chain.ExpectedTimeIn(p0, HoursPerYear, StateFailed)
+			if err != nil {
+				return AvailabilityReport{}, err
+			}
+			downtime += d
+		}
+		// Series downtime approximation: the subsystems fail (nearly)
+		// independently and rarely overlap, so yearly downtimes add.
+		rep.DowntimeHoursPerYear = downtime
+		return rep, nil
+	}
+	fs, err = eval(FS)
+	if err != nil {
+		return
+	}
+	nlft, err = eval(NLFT)
+	return
+}

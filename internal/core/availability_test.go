@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAvailabilityParamsValidate(t *testing.T) {
+	if err := DefaultAvailabilityParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultAvailabilityParams()
+	bad.MuP = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MuP accepted")
+	}
+	bad = DefaultAvailabilityParams()
+	bad.CD = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bad base params accepted")
+	}
+}
+
+func TestRepairableChainsHaveNoAbsorbingStates(t *testing.T) {
+	a := DefaultAvailabilityParams()
+	for _, nt := range []NodeType{FS, NLFT} {
+		cu, err := repairableCU(a, nt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abs := cu.Absorbing(); len(abs) != 0 {
+			t.Errorf("%v CU still has absorbing states %v", nt, abs)
+		}
+		wn, err := repairableWheels(a, nt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abs := wn.Absorbing(); len(abs) != 0 {
+			t.Errorf("%v wheels still has absorbing states %v", nt, abs)
+		}
+	}
+	if _, err := repairableCU(a, NodeType(9)); err == nil {
+		t.Error("bad node type accepted")
+	}
+	if _, err := repairableWheels(a, NodeType(9)); err == nil {
+		t.Error("bad node type accepted")
+	}
+}
+
+// TestBBWAvailability: with repair, both systems reach high steady-state
+// availability, and NLFT still wins — less downtime per year.
+func TestBBWAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("availability integration is quadrature-heavy")
+	}
+	fs, nlft, err := BBWAvailability(DefaultAvailabilityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.SteadyState < 0.9 || fs.SteadyState > 1 {
+		t.Errorf("FS steady-state availability = %v", fs.SteadyState)
+	}
+	if !(nlft.SteadyState > fs.SteadyState) {
+		t.Errorf("NLFT availability %v not above FS %v", nlft.SteadyState, fs.SteadyState)
+	}
+	if !(nlft.DowntimeHoursPerYear < fs.DowntimeHoursPerYear) {
+		t.Errorf("NLFT downtime %v not below FS %v",
+			nlft.DowntimeHoursPerYear, fs.DowntimeHoursPerYear)
+	}
+	if fs.DowntimeHoursPerYear <= 0 || fs.DowntimeHoursPerYear > HoursPerYear/2 {
+		t.Errorf("FS downtime = %v h/y implausible", fs.DowntimeHoursPerYear)
+	}
+	t.Logf("availability: FS %.6f (%.1f h/y down) vs NLFT %.6f (%.1f h/y down)",
+		fs.SteadyState, fs.DowntimeHoursPerYear, nlft.SteadyState, nlft.DowntimeHoursPerYear)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Figure12Row is one sample of Figure 12: BBW system reliability over one
+// year for the four configurations.
+type Figure12Row struct {
+	Hours        float64
+	FSFull       float64
+	FSDegraded   float64
+	NLFTFull     float64
+	NLFTDegraded float64
+}
+
+// configs enumerates the four (node type, mode) combinations in the order
+// the paper plots them.
+var configs = []struct {
+	NT   NodeType
+	Mode Mode
+}{
+	{FS, Full},
+	{FS, Degraded},
+	{NLFT, Full},
+	{NLFT, Degraded},
+}
+
+// Figure12 regenerates the paper's Figure 12: system reliability sampled
+// at steps+1 points over [0, horizon] hours for all four configurations.
+func Figure12(p Params, horizonHours float64, steps int) ([]Figure12Row, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("core: figure 12 with %d steps", steps)
+	}
+	funcs := make(map[[2]int]func(float64) float64, len(configs))
+	for _, c := range configs {
+		sys, err := BBWSystem(p, c.NT, c.Mode)
+		if err != nil {
+			return nil, err
+		}
+		f, err := sys.ReliabilityFunc(ModelBBW)
+		if err != nil {
+			return nil, err
+		}
+		funcs[[2]int{int(c.NT), int(c.Mode)}] = f
+	}
+	rows := make([]Figure12Row, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		h := horizonHours * float64(i) / float64(steps)
+		rows = append(rows, Figure12Row{
+			Hours:        h,
+			FSFull:       funcs[[2]int{int(FS), int(Full)}](h),
+			FSDegraded:   funcs[[2]int{int(FS), int(Degraded)}](h),
+			NLFTFull:     funcs[[2]int{int(NLFT), int(Full)}](h),
+			NLFTDegraded: funcs[[2]int{int(NLFT), int(Degraded)}](h),
+		})
+	}
+	return rows, nil
+}
+
+// Figure13Row is one sample of Figure 13: subsystem reliabilities over one
+// year. CU curves do not depend on the functionality mode; wheel curves
+// are reported for both modes and node types.
+type Figure13Row struct {
+	Hours              float64
+	CUFS               float64
+	CUNLFT             float64
+	WheelsFullFS       float64
+	WheelsFullNLFT     float64
+	WheelsDegradedFS   float64
+	WheelsDegradedNLFT float64
+}
+
+// Figure13 regenerates the paper's Figure 13: reliability of the central
+// unit and wheel-node subsystems for both node types and modes.
+func Figure13(p Params, horizonHours float64, steps int) ([]Figure13Row, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("core: figure 13 with %d steps", steps)
+	}
+	sub := make(map[string]func(float64) float64, 6)
+	for _, c := range configs {
+		sys, err := BBWSystem(p, c.NT, c.Mode)
+		if err != nil {
+			return nil, err
+		}
+		w, err := sys.ReliabilityFunc(ModelWheels)
+		if err != nil {
+			return nil, err
+		}
+		sub[fmt.Sprintf("wheels/%s/%s", c.NT, c.Mode)] = w
+		cu, err := sys.ReliabilityFunc(ModelCU)
+		if err != nil {
+			return nil, err
+		}
+		sub[fmt.Sprintf("cu/%s", c.NT)] = cu
+	}
+	rows := make([]Figure13Row, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		h := horizonHours * float64(i) / float64(steps)
+		rows = append(rows, Figure13Row{
+			Hours:              h,
+			CUFS:               sub["cu/FS"](h),
+			CUNLFT:             sub["cu/NLFT"](h),
+			WheelsFullFS:       sub["wheels/FS/full"](h),
+			WheelsFullNLFT:     sub["wheels/NLFT/full"](h),
+			WheelsDegradedFS:   sub["wheels/FS/degraded"](h),
+			WheelsDegradedNLFT: sub["wheels/NLFT/degraded"](h),
+		})
+	}
+	return rows, nil
+}
+
+// Figure14Row is one sample of Figure 14: reliability after a fixed
+// mission time (5 h in the paper) in degraded mode, as a function of the
+// transient fault rate, for one (coverage, node type) curve.
+type Figure14Row struct {
+	// Coverage is the error-detection coverage C_D of this curve.
+	Coverage float64
+	// NodeType is FS or NLFT.
+	NodeType NodeType
+	// LambdaTMultiple scales the baseline transient fault rate λ_T.
+	LambdaTMultiple float64
+	// LambdaT is the resulting absolute transient rate (faults/hour).
+	LambdaT float64
+	// R is the system reliability at the mission time.
+	R float64
+}
+
+// Figure14 regenerates the paper's Figure 14: degraded-mode system
+// reliability after missionHours, sweeping the transient fault rate over
+// the given multiples of p.LambdaT, for each coverage value and both node
+// types.
+func Figure14(p Params, missionHours float64, coverages, multiples []float64) ([]Figure14Row, error) {
+	if len(coverages) == 0 || len(multiples) == 0 {
+		return nil, fmt.Errorf("core: figure 14 needs coverages and multiples")
+	}
+	var rows []Figure14Row
+	for _, cd := range coverages {
+		for _, nt := range []NodeType{FS, NLFT} {
+			for _, mult := range multiples {
+				pp := p
+				pp.CD = cd
+				pp.LambdaT = p.LambdaT * mult
+				r, err := SystemReliability(pp, nt, Degraded, missionHours)
+				if err != nil {
+					return nil, fmt.Errorf("core: figure 14 at cd=%v nt=%v mult=%v: %w",
+						cd, nt, mult, err)
+				}
+				rows = append(rows, Figure14Row{
+					Coverage:        cd,
+					NodeType:        nt,
+					LambdaTMultiple: mult,
+					LambdaT:         pp.LambdaT,
+					R:               r,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// MTTFComparison reports the paper's §3.4 mean-time-to-failure comparison
+// for a functionality mode: FS vs NLFT system MTTF and the relative gain.
+type MTTFComparison struct {
+	Mode      Mode
+	FSHours   float64
+	NLFTHours float64
+	// Gain is NLFT/FS − 1 (the paper reports ≈0.6 for degraded mode).
+	Gain float64
+}
+
+// MTTFTable computes the MTTF comparison for both functionality modes.
+func MTTFTable(p Params) ([]MTTFComparison, error) {
+	out := make([]MTTFComparison, 0, 2)
+	for _, mode := range []Mode{Full, Degraded} {
+		fs, err := SystemMTTF(p, FS, mode)
+		if err != nil {
+			return nil, err
+		}
+		nl, err := SystemMTTF(p, NLFT, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MTTFComparison{
+			Mode: mode, FSHours: fs, NLFTHours: nl, Gain: nl/fs - 1,
+		})
+	}
+	return out, nil
+}
+
+// Headline reports the paper's two headline claims for degraded mode:
+// the one-year reliability of FS and NLFT systems (paper: 0.45 → 0.70,
+// +55%) and the MTTF gain (paper: 1.2 y → 1.9 y, ≈+60%).
+type Headline struct {
+	ROneYearFS      float64
+	ROneYearNLFT    float64
+	RGain           float64 // NLFT/FS − 1 at one year
+	MTTFYearsFS     float64
+	MTTFYearsNLFT   float64
+	MTTFGain        float64
+	MissionModeName string
+}
+
+// ComputeHeadline evaluates the headline comparison for degraded mode.
+func ComputeHeadline(p Params) (Headline, error) {
+	rfs, err := SystemReliability(p, FS, Degraded, HoursPerYear)
+	if err != nil {
+		return Headline{}, err
+	}
+	rnl, err := SystemReliability(p, NLFT, Degraded, HoursPerYear)
+	if err != nil {
+		return Headline{}, err
+	}
+	mfs, err := SystemMTTF(p, FS, Degraded)
+	if err != nil {
+		return Headline{}, err
+	}
+	mnl, err := SystemMTTF(p, NLFT, Degraded)
+	if err != nil {
+		return Headline{}, err
+	}
+	return Headline{
+		ROneYearFS:      rfs,
+		ROneYearNLFT:    rnl,
+		RGain:           rnl/rfs - 1,
+		MTTFYearsFS:     mfs / HoursPerYear,
+		MTTFYearsNLFT:   mnl / HoursPerYear,
+		MTTFGain:        mnl/mfs - 1,
+		MissionModeName: Degraded.String(),
+	}, nil
+}

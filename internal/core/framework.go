@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/sched"
+)
+
+// This file closes the loop the paper describes between experimental
+// coverage estimation and analytic dependability prediction: a fault-
+// injection campaign on the simulated NLFT kernel (internal/fault,
+// standing in for the heavy-ion and SWIFI studies of refs [7, 8])
+// yields C_D, P_T, P_OM and P_FS, which parameterize the reliability
+// models of §3; and the fault-tolerant schedulability analysis of §2.8
+// (internal/sched) verifies that the TEM recovery slack the models
+// assume actually fits the task set.
+
+// DeriveParams runs a fault-injection campaign and folds its estimates
+// into a Params value, keeping base's rate parameters (λ_P, λ_T, μ_R,
+// μ_OM come from field data and protocol timing, not from injection).
+//
+// The returned Params are normalized so P_T + P_OM + P_FS = 1, as the
+// model requires (the raw estimates may not sum exactly to 1 because
+// each carries its own sampling error).
+func DeriveParams(base Params, w fault.Workload, cfg fault.CampaignConfig) (Params, *fault.Result, error) {
+	res, err := fault.Run(w, cfg)
+	if err != nil {
+		return Params{}, nil, fmt.Errorf("core: derive params: %w", err)
+	}
+	p := base
+	p.CD = res.CD.P
+	sum := res.PT.P + res.POM.P + res.PFS.P
+	if sum <= 0 {
+		return Params{}, nil, fmt.Errorf("core: campaign detected nothing; cannot derive P_T/P_OM/P_FS")
+	}
+	p.PT = res.PT.P / sum
+	p.POM = res.POM.P / sum
+	p.PFS = res.PFS.P / sum
+	if err := p.Validate(); err != nil {
+		return Params{}, nil, fmt.Errorf("core: derived parameters invalid: %w", err)
+	}
+	return p, res, nil
+}
+
+// SlackReport documents the schedulability side of the framework: given
+// a task set and the TEM overheads, it reports whether the set remains
+// schedulable with recovery slack at the anticipated fault arrival rate,
+// and the maximum tolerable rate.
+type SlackReport struct {
+	// Schedulable reports the fault-tolerant RTA verdict at FaultRate.
+	Schedulable bool
+	// FaultRate is the anticipated fault arrival rate (faults/hour).
+	FaultRate float64
+	// MaxRate is the highest tolerable fault arrival rate (faults/hour).
+	MaxRate float64
+	// Utilization is ΣC/T after the TEM transform.
+	Utilization float64
+	// Responses holds the per-task worst-case response times.
+	Responses []sched.Response
+}
+
+// VerifySlack applies the TEM transform to rawTasks, assigns priorities
+// by criticality (the paper's policy), and runs the fault-tolerant
+// response-time analysis at the given fault rate (faults per hour).
+func VerifySlack(rawTasks []sched.Task, ov sched.TEMOverheads, faultsPerHour float64) (*SlackReport, error) {
+	if faultsPerHour <= 0 {
+		return nil, fmt.Errorf("core: fault rate %v", faultsPerHour)
+	}
+	tem := sched.TEMTransform(rawTasks, ov)
+	tem = sched.AssignByCriticality(tem)
+	interval := des.Time((1 / faultsPerHour) * float64(des.Hour))
+	rs, err := sched.AnalyzeWithFaults(tem, interval)
+	if err != nil {
+		return nil, fmt.Errorf("core: slack analysis: %w", err)
+	}
+	maxRate, err := sched.MaxFaultRate(tem)
+	if err != nil {
+		return nil, err
+	}
+	return &SlackReport{
+		Schedulable: sched.Schedulable(rs),
+		FaultRate:   faultsPerHour,
+		MaxRate:     maxRate,
+		Utilization: sched.Utilization(tem),
+		Responses:   rs,
+	}, nil
+}

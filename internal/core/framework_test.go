@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/sched"
+)
+
+// TestDeriveParamsFromCampaign closes the framework loop: campaign →
+// parameter estimates → reliability models. The derived parameters must
+// be valid, near the paper's assumptions in coverage, and must still
+// show the NLFT advantage when pushed through the Figure 12 models.
+func TestDeriveParamsFromCampaign(t *testing.T) {
+	w := fault.NewStdWorkload(fault.StdWorkloadConfig{ECC: true})
+	derived, res, err := DeriveParams(PaperParams(), w, fault.CampaignConfig{
+		Trials: 400,
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activated() == 0 {
+		t.Fatal("campaign activated nothing")
+	}
+	if err := derived.Validate(); err != nil {
+		t.Fatalf("derived params invalid: %v", err)
+	}
+	// Coverage with ECC on tracks the paper's 0.99 assumption.
+	if derived.CD < 0.95 {
+		t.Errorf("derived C_D = %v, expected near 0.99", derived.CD)
+	}
+	// Rates are inherited from the base, not the campaign.
+	if derived.LambdaP != PaperParams().LambdaP || derived.MuR != PaperParams().MuR {
+		t.Error("rate parameters were overwritten")
+	}
+	// The derived parameters still demonstrate the NLFT advantage.
+	h, err := ComputeHeadline(derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RGain <= 0 {
+		t.Errorf("derived params show no NLFT gain: %+v", h)
+	}
+}
+
+func TestDeriveParamsErrors(t *testing.T) {
+	if _, _, err := DeriveParams(PaperParams(), nil, fault.CampaignConfig{Trials: 1}); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestVerifySlackBBWStyleTaskSet(t *testing.T) {
+	ms := func(v int64) des.Time { return des.Time(v) * des.Millisecond }
+	raw := []sched.Task{
+		{Name: "brake", C: ms(1), T: ms(10), D: ms(10), Criticality: 10},
+		{Name: "slip", C: ms(1), T: ms(20), D: ms(20), Criticality: 8},
+		{Name: "diag", C: ms(2), T: ms(100), D: ms(100), Criticality: 0},
+	}
+	rep, err := VerifySlack(raw, sched.TEMOverheads{Compare: ms(1) / 10, Vote: ms(1) / 5}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Fatalf("BBW-style set unschedulable: %+v", rep.Responses)
+	}
+	if rep.MaxRate < rep.FaultRate {
+		t.Errorf("max rate %v below verified rate %v", rep.MaxRate, rep.FaultRate)
+	}
+	if rep.Utilization <= 0 || rep.Utilization >= 1 {
+		t.Errorf("utilization = %v", rep.Utilization)
+	}
+	// TEM roughly doubles the critical tasks' utilization.
+	baseU := sched.Utilization(raw)
+	if rep.Utilization < baseU*1.4 {
+		t.Errorf("TEM transform barely changed utilization: %v vs %v", rep.Utilization, baseU)
+	}
+	if _, err := VerifySlack(raw, sched.TEMOverheads{}, 0); err == nil {
+		t.Error("zero fault rate accepted")
+	}
+}
+
+func TestVerifySlackOverloaded(t *testing.T) {
+	ms := func(v int64) des.Time { return des.Time(v) * des.Millisecond }
+	raw := []sched.Task{
+		{Name: "fatA", C: ms(3), T: ms(10), D: ms(10), Criticality: 5},
+		{Name: "fatB", C: ms(3), T: ms(10), D: ms(10), Criticality: 4},
+	}
+	// After TEM each costs ~6.1 ms per 10 ms: combined utilization > 1.
+	rep, err := VerifySlack(raw, sched.TEMOverheads{Compare: ms(1) / 10}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Error("overloaded TEM set reported schedulable")
+	}
+}
+
+func TestHeadlineGainStableAcrossCoverage(t *testing.T) {
+	// The NLFT advantage must persist over a plausible C_D band — the
+	// sensitivity claim behind Figure 14.
+	for _, cd := range []float64{0.95, 0.99, 0.999} {
+		p := PaperParams()
+		p.CD = cd
+		h, err := ComputeHeadline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.RGain <= 0.2 {
+			t.Errorf("C_D=%v: gain %v too small", cd, h.RGain)
+		}
+	}
+}
+
+func TestFigure14NLFTAdvantageGrowsWithRate(t *testing.T) {
+	p := PaperParams()
+	rows, err := Figure14(p, 5, []float64{0.99}, []float64{1, 10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute NLFT−FS advantage per multiple; it must be nondecreasing.
+	adv := map[float64]float64{}
+	for _, r := range rows {
+		if r.NodeType == NLFT {
+			adv[r.LambdaTMultiple] += r.R
+		} else {
+			adv[r.LambdaTMultiple] -= r.R
+		}
+	}
+	prev := math.Inf(-1)
+	for _, m := range []float64{1, 10, 100, 1000} {
+		if adv[m] < prev-1e-12 {
+			t.Errorf("advantage at ×%v dropped: %v < %v", m, adv[m], prev)
+		}
+		prev = adv[m]
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faulttree"
+	"repro/internal/markov"
+	"repro/internal/rbd"
+	"repro/internal/sharpe"
+)
+
+// State names shared by the CTMC models, matching the paper's diagrams.
+const (
+	// StateOK: all nodes of the subsystem working correctly.
+	StateOK = "0"
+	// StatePermanentDown: one node permanently down (no repair).
+	StatePermanentDown = "1"
+	// StateTransientDown: one node temporarily down, restarting (μ_R).
+	StateTransientDown = "2"
+	// StateOmission: one NLFT node in omission recovery (μ_OM).
+	StateOmission = "3"
+	// StateFailed: the absorbing subsystem-failure state.
+	StateFailed = "F"
+)
+
+// CentralUnitFS builds the Figure 6 CTMC: a duplex central unit with
+// fail-silent nodes. Transition-rate reconstruction per DESIGN.md §4:
+//
+//	0→1: 2λ_P·C_D           (a permanent fault detected; node stays down)
+//	0→2: 2λ_T·C_D           (a transient detected; node restarts at μ_R)
+//	0→F: 2(λ_P+λ_T)(1−C_D)  (undetected error: pessimistically system-fatal)
+//	2→0: μ_R
+//	1→F, 2→F: λ_P+λ_T        (any activated fault in the lone survivor)
+func CentralUnitFS(p Params) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := p.LambdaP + p.LambdaT
+	b := markov.NewBuilder()
+	b.Rate(StateOK, StatePermanentDown, 2*p.LambdaP*p.CD)
+	b.Rate(StateOK, StateTransientDown, 2*p.LambdaT*p.CD)
+	b.Rate(StateOK, StateFailed, 2*total*(1-p.CD))
+	b.Rate(StateTransientDown, StateOK, p.MuR)
+	b.Rate(StatePermanentDown, StateFailed, total)
+	b.Rate(StateTransientDown, StateFailed, total)
+	return b.Build()
+}
+
+// CentralUnitNLFT builds the Figure 7 CTMC: a duplex central unit with
+// light-weight NLFT nodes. Detected transients are masked with
+// probability P_T (no transition), cause omission failures with P_OM
+// (state 3, repaired at μ_OM) or fail-silent failures with P_FS (state 2,
+// repaired at μ_R). The lone survivor masks transients with probability
+// C_D·P_T, so its failure rate drops to λ_P + λ_T(1 − C_D·P_T).
+func CentralUnitNLFT(p Params) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := p.LambdaP + p.LambdaT
+	survivorRate := p.LambdaP + p.UnmaskedTransientRate()
+	b := markov.NewBuilder()
+	b.Rate(StateOK, StatePermanentDown, 2*p.LambdaP*p.CD)
+	b.Rate(StateOK, StateTransientDown, 2*p.LambdaT*p.CD*p.PFS)
+	b.Rate(StateOK, StateOmission, 2*p.LambdaT*p.CD*p.POM)
+	b.Rate(StateOK, StateFailed, 2*total*(1-p.CD))
+	b.Rate(StateTransientDown, StateOK, p.MuR)
+	b.Rate(StateOmission, StateOK, p.MuOM)
+	b.Rate(StatePermanentDown, StateFailed, survivorRate)
+	b.Rate(StateTransientDown, StateFailed, survivorRate)
+	b.Rate(StateOmission, StateFailed, survivorRate)
+	return b.Build()
+}
+
+// WheelNodeCount is the number of wheel nodes in the BBW architecture.
+const WheelNodeCount = 4
+
+// WheelsFullFS builds the Figure 8 RBD: four fail-silent wheel nodes in
+// series. Any activated fault at least temporarily silences a node, which
+// already violates the full-functionality requirement, so each node fails
+// at rate λ_P + λ_T.
+func WheelsFullFS(p Params) (rbd.Block, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rate := p.LambdaP + p.LambdaT
+	nodes := make([]rbd.Block, WheelNodeCount)
+	for i := range nodes {
+		nodes[i] = rbd.Exponential(fmt.Sprintf("WN%d", i+1), rate)
+	}
+	return rbd.NewSeries(nodes...), nil
+}
+
+// WheelsDegradedFS builds the Figure 9 CTMC: the wheel-node subsystem in
+// degraded functionality mode with fail-silent nodes. The system works
+// with three of four nodes; transiently failed nodes reintegrate at μ_R.
+func WheelsDegradedFS(p Params) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := p.LambdaP + p.LambdaT
+	n := float64(WheelNodeCount)
+	b := markov.NewBuilder()
+	b.Rate(StateOK, StatePermanentDown, n*p.LambdaP*p.CD)
+	b.Rate(StateOK, StateTransientDown, n*p.LambdaT*p.CD)
+	b.Rate(StateOK, StateFailed, n*total*(1-p.CD))
+	b.Rate(StateTransientDown, StateOK, p.MuR)
+	b.Rate(StatePermanentDown, StateFailed, (n-1)*total)
+	b.Rate(StateTransientDown, StateFailed, (n-1)*total)
+	return b.Build()
+}
+
+// WheelsFullNLFT builds the Figure 10 CTMC: the wheel-node subsystem in
+// full functionality mode with NLFT nodes. Masked transients keep the
+// system in state 0; everything else (permanent faults, unmaskable or
+// undetected transients) is a full-functionality failure, so the model
+// collapses to two states.
+func WheelsFullNLFT(p Params) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := float64(WheelNodeCount)
+	rate := n * (p.LambdaP + p.UnmaskedTransientRate())
+	b := markov.NewBuilder()
+	b.Rate(StateOK, StateFailed, rate)
+	return b.Build()
+}
+
+// WheelsDegradedNLFT builds the Figure 11 CTMC: the wheel-node subsystem
+// in degraded mode with NLFT nodes, combining the Figure 9 structure with
+// the Figure 7 failure semantics.
+func WheelsDegradedNLFT(p Params) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := p.LambdaP + p.LambdaT
+	survivorRate := p.LambdaP + p.UnmaskedTransientRate()
+	n := float64(WheelNodeCount)
+	b := markov.NewBuilder()
+	b.Rate(StateOK, StatePermanentDown, n*p.LambdaP*p.CD)
+	b.Rate(StateOK, StateTransientDown, n*p.LambdaT*p.CD*p.PFS)
+	b.Rate(StateOK, StateOmission, n*p.LambdaT*p.CD*p.POM)
+	b.Rate(StateOK, StateFailed, n*total*(1-p.CD))
+	b.Rate(StateTransientDown, StateOK, p.MuR)
+	b.Rate(StateOmission, StateOK, p.MuOM)
+	b.Rate(StatePermanentDown, StateFailed, (n-1)*survivorRate)
+	b.Rate(StateTransientDown, StateFailed, (n-1)*survivorRate)
+	b.Rate(StateOmission, StateFailed, (n-1)*survivorRate)
+	return b.Build()
+}
+
+// Canonical model names registered by BBWSystem.
+const (
+	ModelCU     = "cu"
+	ModelWheels = "wheels"
+	ModelBBW    = "bbw"
+)
+
+// BBWSystem assembles the full Figure 5 hierarchy for the chosen node
+// type and functionality mode: a sharpe.System with models ModelCU,
+// ModelWheels and the top-level ModelBBW (fault-tree OR of the two
+// subsystems, per the paper's fault tree).
+func BBWSystem(p Params, nt NodeType, mode Mode) (*sharpe.System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sys := sharpe.NewSystem()
+
+	var cuChain *markov.Chain
+	var err error
+	switch nt {
+	case FS:
+		cuChain, err = CentralUnitFS(p)
+	case NLFT:
+		cuChain, err = CentralUnitNLFT(p)
+	default:
+		return nil, fmt.Errorf("core: unknown node type %v", nt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: central unit model: %w", err)
+	}
+	cu, err := sharpe.NewCTMC(ModelCU, cuChain, StateOK, []string{StateFailed})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Add(cu); err != nil {
+		return nil, err
+	}
+
+	var wheels sharpe.Model
+	switch {
+	case nt == FS && mode == Full:
+		blk, err := WheelsFullFS(p)
+		if err != nil {
+			return nil, err
+		}
+		wheels = sharpe.NewRBD(ModelWheels, blk, HoursPerYear)
+	case nt == FS && mode == Degraded:
+		ch, err := WheelsDegradedFS(p)
+		if err != nil {
+			return nil, err
+		}
+		wheels, err = sharpe.NewCTMC(ModelWheels, ch, StateOK, []string{StateFailed})
+		if err != nil {
+			return nil, err
+		}
+	case nt == NLFT && mode == Full:
+		ch, err := WheelsFullNLFT(p)
+		if err != nil {
+			return nil, err
+		}
+		wheels, err = sharpe.NewCTMC(ModelWheels, ch, StateOK, []string{StateFailed})
+		if err != nil {
+			return nil, err
+		}
+	case nt == NLFT && mode == Degraded:
+		ch, err := WheelsDegradedNLFT(p)
+		if err != nil {
+			return nil, err
+		}
+		wheels, err = sharpe.NewCTMC(ModelWheels, ch, StateOK, []string{StateFailed})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", mode)
+	}
+	if err := sys.Add(wheels); err != nil {
+		return nil, err
+	}
+
+	// Figure 5: system fails when either subsystem fails.
+	cuQ, err := sys.Unreliability(ModelCU)
+	if err != nil {
+		return nil, err
+	}
+	wnQ, err := sys.Unreliability(ModelWheels)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := faulttree.New(faulttree.OR(
+		faulttree.NewEvent("central-unit-fails", cuQ),
+		faulttree.NewEvent("wheel-subsystem-fails", wnQ),
+	))
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Add(sharpe.NewFaultTree(ModelBBW, tree, 2*HoursPerYear)); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// SystemReliability evaluates R(t) of the complete BBW system.
+func SystemReliability(p Params, nt NodeType, mode Mode, hours float64) (float64, error) {
+	sys, err := BBWSystem(p, nt, mode)
+	if err != nil {
+		return 0, err
+	}
+	m, err := sys.Model(ModelBBW)
+	if err != nil {
+		return 0, err
+	}
+	return m.Reliability(hours)
+}
+
+// SystemMTTF evaluates the mean time to failure (hours) of the complete
+// BBW system by quadrature of the composed reliability function, as the
+// paper does for its "MTTF increases by almost 60%" comparison.
+func SystemMTTF(p Params, nt NodeType, mode Mode) (float64, error) {
+	sys, err := BBWSystem(p, nt, mode)
+	if err != nil {
+		return 0, err
+	}
+	m, err := sys.Model(ModelBBW)
+	if err != nil {
+		return 0, err
+	}
+	return m.MTTF()
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperParamsValid(t *testing.T) {
+	if err := PaperParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := PaperParams()
+	if math.Abs(p.LambdaT-10*p.LambdaP) > 1e-18 {
+		t.Errorf("λ_T = %v, want 10·λ_P", p.LambdaT)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := map[string]func(*Params){
+		"negative lambdaP": func(p *Params) { p.LambdaP = -1 },
+		"CD > 1":           func(p *Params) { p.CD = 1.5 },
+		"NaN PT":           func(p *Params) { p.PT = math.NaN() },
+		"budget != 1":      func(p *Params) { p.PT = 0.5 },
+		"negative MuR":     func(p *Params) { p.MuR = -1 },
+	}
+	for name, mutate := range cases {
+		p := PaperParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := PaperParams()
+	if got := p.MaskProb(); math.Abs(got-0.891) > 1e-12 {
+		t.Errorf("MaskProb = %v, want 0.891", got)
+	}
+	want := p.LambdaT * (1 - 0.891)
+	if got := p.UnmaskedTransientRate(); math.Abs(got-want) > 1e-18 {
+		t.Errorf("UnmaskedTransientRate = %v, want %v", got, want)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FS.String() != "FS" || NLFT.String() != "NLFT" {
+		t.Error("NodeType strings wrong")
+	}
+	if Full.String() != "full" || Degraded.String() != "degraded" {
+		t.Error("Mode strings wrong")
+	}
+	if NodeType(99).String() == "" || Mode(99).String() == "" {
+		t.Error("unknown enums must still print")
+	}
+}
+
+func TestCentralUnitFSStructure(t *testing.T) {
+	c, err := CentralUnitFS(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 4 {
+		t.Errorf("CU FS has %d states, want 4 (Figure 6)", c.NumStates())
+	}
+	abs := c.Absorbing()
+	if len(abs) != 1 || abs[0] != StateFailed {
+		t.Errorf("absorbing = %v, want [F]", abs)
+	}
+}
+
+func TestCentralUnitNLFTStructure(t *testing.T) {
+	c, err := CentralUnitNLFT(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 5 {
+		t.Errorf("CU NLFT has %d states, want 5 (Figure 7)", c.NumStates())
+	}
+}
+
+func TestWheelsFullNLFTIsTwoState(t *testing.T) {
+	c, err := WheelsFullNLFT(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 2 {
+		t.Errorf("wheels full NLFT has %d states, want 2 (Figure 10)", c.NumStates())
+	}
+}
+
+func TestWheelsDegradedStructures(t *testing.T) {
+	fs, err := WheelsDegradedFS(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumStates() != 4 {
+		t.Errorf("wheels degraded FS: %d states, want 4 (Figure 9)", fs.NumStates())
+	}
+	nl, err := WheelsDegradedNLFT(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumStates() != 5 {
+		t.Errorf("wheels degraded NLFT: %d states, want 5 (Figure 11)", nl.NumStates())
+	}
+}
+
+func TestModelConstructorsRejectInvalidParams(t *testing.T) {
+	bad := PaperParams()
+	bad.CD = 2
+	if _, err := CentralUnitFS(bad); err == nil {
+		t.Error("CentralUnitFS accepted bad params")
+	}
+	if _, err := CentralUnitNLFT(bad); err == nil {
+		t.Error("CentralUnitNLFT accepted bad params")
+	}
+	if _, err := WheelsFullFS(bad); err == nil {
+		t.Error("WheelsFullFS accepted bad params")
+	}
+	if _, err := WheelsDegradedFS(bad); err == nil {
+		t.Error("WheelsDegradedFS accepted bad params")
+	}
+	if _, err := WheelsFullNLFT(bad); err == nil {
+		t.Error("WheelsFullNLFT accepted bad params")
+	}
+	if _, err := WheelsDegradedNLFT(bad); err == nil {
+		t.Error("WheelsDegradedNLFT accepted bad params")
+	}
+	if _, err := BBWSystem(bad, FS, Full); err == nil {
+		t.Error("BBWSystem accepted bad params")
+	}
+	if _, err := BBWSystem(PaperParams(), NodeType(9), Full); err == nil {
+		t.Error("BBWSystem accepted bad node type")
+	}
+	if _, err := BBWSystem(PaperParams(), FS, Mode(9)); err == nil {
+		t.Error("BBWSystem accepted bad mode")
+	}
+}
+
+// TestPaperHeadlineNumbers is the central fidelity check: the paper
+// reports degraded-mode one-year reliability 0.45 (FS) vs 0.70 (NLFT),
+// a 55% gain, and MTTF 1.2 vs 1.9 years, an ≈60% gain.
+func TestPaperHeadlineNumbers(t *testing.T) {
+	h, err := ComputeHeadline(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ROneYearFS < 0.43 || h.ROneYearFS > 0.48 {
+		t.Errorf("FS one-year R = %v, paper reports 0.45", h.ROneYearFS)
+	}
+	if h.ROneYearNLFT < 0.68 || h.ROneYearNLFT > 0.73 {
+		t.Errorf("NLFT one-year R = %v, paper reports 0.70", h.ROneYearNLFT)
+	}
+	if h.RGain < 0.45 || h.RGain > 0.62 {
+		t.Errorf("reliability gain = %v, paper reports ≈0.55", h.RGain)
+	}
+	if h.MTTFYearsFS < 1.0 || h.MTTFYearsFS > 1.4 {
+		t.Errorf("FS MTTF = %v years, paper reports 1.2", h.MTTFYearsFS)
+	}
+	if h.MTTFYearsNLFT < 1.7 || h.MTTFYearsNLFT > 2.1 {
+		t.Errorf("NLFT MTTF = %v years, paper reports 1.9", h.MTTFYearsNLFT)
+	}
+	if h.MTTFGain < 0.45 || h.MTTFGain > 0.75 {
+		t.Errorf("MTTF gain = %v, paper reports ≈0.6", h.MTTFGain)
+	}
+}
+
+func TestFigure12ShapeAndOrdering(t *testing.T) {
+	rows, err := Figure12(PaperParams(), HoursPerYear, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first := rows[0]
+	if first.FSFull != 1 || first.NLFTDegraded != 1 {
+		t.Errorf("R(0) != 1: %+v", first)
+	}
+	for i, r := range rows {
+		// Paper ordering at every t>0: degraded beats full for each node
+		// type, and NLFT beats FS for each mode.
+		if i == 0 {
+			continue
+		}
+		if !(r.FSDegraded >= r.FSFull-1e-12) {
+			t.Errorf("t=%v: FS degraded %v < FS full %v", r.Hours, r.FSDegraded, r.FSFull)
+		}
+		if !(r.NLFTDegraded >= r.NLFTFull-1e-12) {
+			t.Errorf("t=%v: NLFT degraded < NLFT full", r.Hours)
+		}
+		if !(r.NLFTFull >= r.FSFull-1e-12) {
+			t.Errorf("t=%v: NLFT full %v < FS full %v", r.Hours, r.NLFTFull, r.FSFull)
+		}
+		if !(r.NLFTDegraded >= r.FSDegraded-1e-12) {
+			t.Errorf("t=%v: NLFT degraded < FS degraded", r.Hours)
+		}
+		// Monotone decay.
+		prev := rows[i-1]
+		for _, pair := range [][2]float64{
+			{prev.FSFull, r.FSFull}, {prev.FSDegraded, r.FSDegraded},
+			{prev.NLFTFull, r.NLFTFull}, {prev.NLFTDegraded, r.NLFTDegraded},
+		} {
+			if pair[1] > pair[0]+1e-12 {
+				t.Errorf("t=%v: reliability increased", r.Hours)
+			}
+		}
+	}
+	if _, err := Figure12(PaperParams(), HoursPerYear, 0); err == nil {
+		t.Error("0 steps did not error")
+	}
+}
+
+func TestFigure13WheelsAreBottleneck(t *testing.T) {
+	rows, err := Figure13(PaperParams(), HoursPerYear, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	// §3.4: "The main reliability bottleneck is the wheel node subsystem."
+	if !(last.WheelsDegradedFS < last.CUFS) {
+		t.Errorf("wheels FS %v not below CU FS %v", last.WheelsDegradedFS, last.CUFS)
+	}
+	if !(last.WheelsDegradedNLFT < last.CUNLFT) {
+		t.Errorf("wheels NLFT %v not below CU NLFT %v", last.WheelsDegradedNLFT, last.CUNLFT)
+	}
+	// Full-functionality wheels decay faster than degraded wheels.
+	if !(last.WheelsFullFS < last.WheelsDegradedFS) {
+		t.Error("full FS wheels should be worse than degraded")
+	}
+	if _, err := Figure13(PaperParams(), HoursPerYear, 0); err == nil {
+		t.Error("0 steps did not error")
+	}
+}
+
+func TestFigure14CoverageDominates(t *testing.T) {
+	p := PaperParams()
+	rows, err := Figure14(p, 5, []float64{0.99, 0.999}, []float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*2*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(cd float64, nt NodeType, mult float64) float64 {
+		for _, r := range rows {
+			if r.Coverage == cd && r.NodeType == nt && r.LambdaTMultiple == mult {
+				return r.R
+			}
+		}
+		t.Fatalf("missing row cd=%v nt=%v mult=%v", cd, nt, mult)
+		return 0
+	}
+	// Higher coverage ⇒ higher reliability (for both node types).
+	if !(get(0.999, FS, 10) > get(0.99, FS, 10)) {
+		t.Error("coverage increase did not improve FS reliability")
+	}
+	if !(get(0.999, NLFT, 10) > get(0.99, NLFT, 10)) {
+		t.Error("coverage increase did not improve NLFT reliability")
+	}
+	// NLFT at least as good as FS everywhere; advantage grows with rate.
+	advLow := get(0.99, NLFT, 1) - get(0.99, FS, 1)
+	advHigh := get(0.99, NLFT, 100) - get(0.99, FS, 100)
+	if advLow < 0 {
+		t.Errorf("NLFT below FS at baseline rate: %v", advLow)
+	}
+	if !(advHigh > advLow) {
+		t.Errorf("NLFT advantage did not grow with fault rate: %v vs %v", advHigh, advLow)
+	}
+	// Reliability after 5 h must be high in absolute terms.
+	if r := get(0.99, NLFT, 1); r < 0.99 {
+		t.Errorf("five-hour NLFT reliability = %v, expected near 1", r)
+	}
+	if _, err := Figure14(p, 5, nil, []float64{1}); err == nil {
+		t.Error("empty coverages did not error")
+	}
+}
+
+func TestMTTFTable(t *testing.T) {
+	rows, err := MTTFTable(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NLFTHours <= r.FSHours {
+			t.Errorf("%v: NLFT MTTF %v not above FS %v", r.Mode, r.NLFTHours, r.FSHours)
+		}
+		if r.Gain <= 0 {
+			t.Errorf("%v: gain %v", r.Mode, r.Gain)
+		}
+	}
+	// Degraded-mode MTTFs exceed full-mode MTTFs.
+	if !(rows[1].FSHours > rows[0].FSHours) {
+		t.Error("degraded FS MTTF not above full FS MTTF")
+	}
+}
+
+func TestWheelsFullFSMatchesClosedForm(t *testing.T) {
+	p := PaperParams()
+	blk, err := WheelsFullFS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 4 * (p.LambdaP + p.LambdaT)
+	for _, h := range []float64{0, 100, HoursPerYear} {
+		want := math.Exp(-rate * h)
+		if got := blk.Reliability(h); math.Abs(got-want) > 1e-12 {
+			t.Errorf("R(%v) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestNLFTReducesToFSWhenTEMDisabledProperty(t *testing.T) {
+	// Property: with P_T = 0 (no masking) and all detected transients
+	// causing fail-silent behaviour (P_FS = 1) with the same repair rate,
+	// the NLFT CU model must match the FS CU model for any valid rates.
+	check := func(lpRaw, ltRaw uint16, cdRaw uint8) bool {
+		p := PaperParams()
+		p.LambdaP = float64(lpRaw+1) * 1e-7
+		p.LambdaT = float64(ltRaw+1) * 1e-6
+		p.CD = 0.5 + float64(cdRaw%50)/100
+		p.PT, p.POM, p.PFS = 0, 0, 1
+		p.MuOM = p.MuR
+		fs, err := CentralUnitFS(p)
+		if err != nil {
+			return false
+		}
+		nl, err := CentralUnitNLFT(p)
+		if err != nil {
+			return false
+		}
+		p0fs, _ := fs.InitialAt(StateOK)
+		p0nl, _ := nl.InitialAt(StateOK)
+		for _, h := range []float64{10, 1000, HoursPerYear} {
+			pf, err := fs.Transient(p0fs, h)
+			if err != nil {
+				return false
+			}
+			pn, err := nl.Transient(p0nl, h)
+			if err != nil {
+				return false
+			}
+			qf, _ := fs.ProbIn(pf, StateFailed)
+			qn, _ := nl.ProbIn(pn, StateFailed)
+			if math.Abs(qf-qn) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfectCoveragePerfectMaskingProperty(t *testing.T) {
+	// With C_D = 1, P_T = 1 and λ_P = 0 every fault is masked: the NLFT
+	// wheel subsystem in full mode must be perfectly reliable.
+	p := PaperParams()
+	p.CD, p.PT, p.POM, p.PFS = 1, 1, 0, 0
+	p.LambdaP = 0
+	c, err := WheelsFullNLFT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := c.InitialAt(StateOK)
+	dist, err := c.Transient(p0, HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := c.ProbIn(dist, StateFailed)
+	if q > 1e-12 {
+		t.Errorf("perfect masking still fails with q = %v", q)
+	}
+}
+
+func BenchmarkBBWSystemBuildAndSolve(b *testing.B) {
+	p := PaperParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SystemReliability(p, NLFT, Degraded, HoursPerYear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

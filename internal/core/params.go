@@ -1,0 +1,162 @@
+// Package core implements the paper's primary contribution: the
+// light-weight node-level fault tolerance (NLFT) framework. It provides
+//
+//   - the dependability parameter set of §3.3 and its validation,
+//   - the reliability models of Figures 5–11 (duplex central unit and
+//     wheel-node subsystem, for fail-silent and NLFT nodes, in full and
+//     degraded functionality modes), built on internal/markov,
+//     internal/rbd, internal/faulttree and internal/sharpe,
+//   - the figure generators that regenerate the paper's evaluation
+//     (Figures 12, 13, 14 and the MTTF comparison), and
+//   - the framework glue that derives the model parameters (C_D, P_T,
+//     P_OM, P_FS) from fault-injection campaigns on the simulated NLFT
+//     kernel, closing the loop the paper describes between experimental
+//     coverage estimation and analytic dependability prediction.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoursPerYear converts the paper's one-year horizon to hours.
+const HoursPerYear = 8760.0
+
+// Params is the dependability parameter set of §3.2.2/§3.3. All rates are
+// per hour; probabilities are conditional as defined in the paper.
+type Params struct {
+	// LambdaP is the permanent fault rate λ_P (activated faults/hour).
+	LambdaP float64
+	// LambdaT is the transient fault rate λ_T (activated faults/hour).
+	LambdaT float64
+	// CD is the error-detection coverage C_D: the conditional probability
+	// that an error is detected given that a fault occurred.
+	CD float64
+	// PT is the probability that a detected transient error is masked by
+	// temporal error masking (TEM), given detection.
+	PT float64
+	// POM is the probability that a detected transient error leads to an
+	// omission failure, given detection.
+	POM float64
+	// PFS is the probability that a detected transient error leads to a
+	// fail-silent failure (error during kernel execution), given detection.
+	PFS float64
+	// MuR is the repair (restart + diagnosis + reintegration) rate after a
+	// fail-silent failure, repairs/hour.
+	MuR float64
+	// MuOM is the reintegration rate after an omission failure,
+	// repairs/hour.
+	MuOM float64
+}
+
+// PaperParams returns the parameter assignment of §3.3: λ_P from
+// MIL-HDBK-217 for a 32-bit automotive node, λ_T = 10·λ_P, coverage 0.99,
+// TEM masking 0.9, omissions 0.05, kernel (fail-silent) share 0.05,
+// 3 s restart repair and 1.6 s omission recovery.
+func PaperParams() Params {
+	return Params{
+		LambdaP: 1.82e-5,
+		LambdaT: 1.82e-4,
+		CD:      0.99,
+		PT:      0.90,
+		POM:     0.05,
+		PFS:     0.05,
+		MuR:     1.2e3,
+		MuOM:    2.25e3,
+	}
+}
+
+// Validate checks ranges and the TEM outcome-probability budget
+// P_T + P_OM + P_FS = 1 (the three ways §3.2.1 lets an NLFT node handle a
+// detected transient error).
+func (p Params) Validate() error {
+	check := func(name string, v float64, lo, hi float64) error {
+		if math.IsNaN(v) || v < lo || v > hi {
+			return fmt.Errorf("core: %s = %v outside [%v, %v]", name, v, lo, hi)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name   string
+		v      float64
+		lo, hi float64
+	}{
+		{"LambdaP", p.LambdaP, 0, math.Inf(1)},
+		{"LambdaT", p.LambdaT, 0, math.Inf(1)},
+		{"CD", p.CD, 0, 1},
+		{"PT", p.PT, 0, 1},
+		{"POM", p.POM, 0, 1},
+		{"PFS", p.PFS, 0, 1},
+		{"MuR", p.MuR, 0, math.Inf(1)},
+		{"MuOM", p.MuOM, 0, math.Inf(1)},
+	} {
+		if err := check(c.name, c.v, c.lo, c.hi); err != nil {
+			return err
+		}
+	}
+	if s := p.PT + p.POM + p.PFS; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("core: P_T + P_OM + P_FS = %v, want 1", s)
+	}
+	return nil
+}
+
+// MaskProb is the unconditional probability that a transient fault is
+// masked locally by an NLFT node: detection and TEM masking, C_D·P_T.
+func (p Params) MaskProb() float64 { return p.CD * p.PT }
+
+// UnmaskedTransientRate is the rate of transient faults an NLFT node
+// cannot mask (detected-but-unmaskable plus undetected):
+// λ_T·(1 − C_D·P_T).
+func (p Params) UnmaskedTransientRate() float64 {
+	return p.LambdaT * (1 - p.MaskProb())
+}
+
+// NodeType selects the node failure semantics being modelled.
+type NodeType int
+
+// Node types compared in the paper.
+const (
+	// FS is a conventional fail-silent node: every detected error silences
+	// the node until restart; a diagnostic then reintegrates it.
+	FS NodeType = iota + 1
+	// NLFT is a node with light-weight node-level fault tolerance: TEM
+	// masks most transients; the rest surface as omission or fail-silent
+	// failures.
+	NLFT
+)
+
+// String names the node type as used in reports.
+func (n NodeType) String() string {
+	switch n {
+	case FS:
+		return "FS"
+	case NLFT:
+		return "NLFT"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(n))
+	}
+}
+
+// Mode selects the BBW functionality requirement of §3.2.
+type Mode int
+
+// Functionality modes analysed in §3.2.
+const (
+	// Full requires all four wheel nodes and one central-unit node.
+	Full Mode = iota + 1
+	// Degraded requires at least three wheel nodes and one central-unit
+	// node, with failed wheel nodes allowed to reintegrate.
+	Degraded
+)
+
+// String names the mode as used in reports.
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case Degraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}

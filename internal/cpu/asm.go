@@ -1,0 +1,428 @@
+package cpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled unit: a word image to load at Origin plus the
+// resolved label table (byte addresses).
+type Program struct {
+	Origin uint32
+	Words  []uint32
+	Labels map[string]uint32
+}
+
+// SizeBytes reports the image size in bytes.
+func (p *Program) SizeBytes() uint32 { return uint32(len(p.Words)) * 4 }
+
+// LoadInto writes the image into memory at its origin.
+func (p *Program) LoadInto(m *Memory) {
+	for i, w := range p.Words {
+		m.Poke(p.Origin+uint32(i)*4, w)
+	}
+}
+
+// Entry returns the byte address of a label.
+func (p *Program) Entry(label string) (uint32, error) {
+	a, ok := p.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("cpu: unknown label %q", label)
+	}
+	return a, nil
+}
+
+// Assemble translates assembly text into a Program. The syntax is
+// line-oriented:
+//
+//	; or # start comments
+//	.org ADDR           set the load origin (once, before any code)
+//	.word VALUE         emit a literal word
+//	label:              define a label (may share a line with code)
+//	op operands         one instruction
+//
+// Registers are r0–r15 with aliases fp (r13), lr (r14) and sp (r15).
+// Immediates are decimal or 0x-hex, optionally negative. Branch and jump
+// targets are labels (PC-relative offsets are computed). The pseudo-
+// instruction `li rd, imm32` expands to movi+movhi.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{labels: make(map[string]uint32)}
+	// Pass 1: lay out, collect labels.
+	if err := a.pass(src, false); err != nil {
+		return nil, err
+	}
+	// Pass 2: emit with resolved labels.
+	a.words = a.words[:0]
+	a.pc = a.origin
+	a.resolving = true
+	if err := a.pass(src, true); err != nil {
+		return nil, err
+	}
+	return &Program{Origin: a.origin, Words: a.words, Labels: a.labels}, nil
+}
+
+// MustAssemble is Assemble for programs embedded in code; it panics on
+// error, which indicates a bug in the embedded source.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	origin    uint32
+	originSet bool
+	pc        uint32
+	words     []uint32
+	labels    map[string]uint32
+	line      int
+	// resolving is true during pass 2, when every label must exist.
+	resolving bool
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("cpu: asm line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) pass(src string, emit bool) error {
+	a.line = 0
+	for _, raw := range strings.Split(src, "\n") {
+		a.line++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Labels, possibly several, possibly followed by code.
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				label := strings.TrimSpace(line[:i])
+				if !emit {
+					if _, dup := a.labels[label]; dup {
+						return a.errf("duplicate label %q", label)
+					}
+					a.labels[label] = a.pc
+				}
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.statement(line, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) emitWord(w uint32, emit bool) {
+	if emit {
+		a.words = append(a.words, w)
+	}
+	a.pc += 4
+}
+
+func (a *assembler) statement(line string, emit bool) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	operands := splitOperands(rest)
+
+	switch mnemonic {
+	case ".org":
+		if len(operands) != 1 {
+			return a.errf(".org needs an address")
+		}
+		if len(a.words) > 0 || (a.pc != a.origin) {
+			return a.errf(".org after code")
+		}
+		v, err := a.immediate(operands[0], 0xFFFFFFFF)
+		if err != nil {
+			return err
+		}
+		if v%4 != 0 {
+			return a.errf(".org %#x not word-aligned", v)
+		}
+		if a.originSet && uint32(v) != a.origin {
+			return a.errf("conflicting .org")
+		}
+		a.origin, a.originSet = uint32(v), true
+		a.pc = a.origin
+		return nil
+	case ".word":
+		if len(operands) != 1 {
+			return a.errf(".word needs a value")
+		}
+		v, err := a.immediate(operands[0], 0xFFFFFFFF)
+		if err != nil {
+			return err
+		}
+		a.emitWord(uint32(v), emit)
+		return nil
+	case "li":
+		if len(operands) != 2 {
+			return a.errf("li needs rd, imm32")
+		}
+		rd, err := a.register(operands[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.immediate(operands[1], 0xFFFFFFFF)
+		if err != nil {
+			return err
+		}
+		u := uint32(v)
+		a.emitWord(Encode(OpMovi, rd, 0, 0, int32(int16(uint16(u)))), emit)
+		a.emitWord(Encode(OpMovhi, rd, 0, 0, int32(int16(uint16(u>>16)))), emit)
+		return nil
+	}
+
+	op, ok := mnemonicTable[mnemonic]
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnemonic)
+	}
+	info := opTable[op]
+	need := operandCount(info.format)
+	if len(operands) != need {
+		return a.errf("%s needs %d operands, got %d", mnemonic, need, len(operands))
+	}
+	var rd, ra, rb int
+	var imm int32
+	var err error
+	switch info.format {
+	case fmtNone:
+	case fmtRegImm:
+		if rd, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		v, err := a.immediate(operands[1], 0xFFFF)
+		if err != nil {
+			return err
+		}
+		imm = int32(v)
+	case fmtRegReg:
+		if rd, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		if ra, err = a.register(operands[1]); err != nil {
+			return err
+		}
+	case fmtThreeReg:
+		if rd, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		if ra, err = a.register(operands[1]); err != nil {
+			return err
+		}
+		if rb, err = a.register(operands[2]); err != nil {
+			return err
+		}
+	case fmtRegRegImm:
+		if rd, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		if ra, err = a.register(operands[1]); err != nil {
+			return err
+		}
+		v, err := a.immediate(operands[2], 0xFFFF)
+		if err != nil {
+			return err
+		}
+		imm = int32(v)
+	case fmtMem:
+		if rd, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		if ra, imm, err = a.memOperand(operands[1]); err != nil {
+			return err
+		}
+	case fmtCmpRR:
+		if ra, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		if rb, err = a.register(operands[1]); err != nil {
+			return err
+		}
+	case fmtCmpRI:
+		if ra, err = a.register(operands[0]); err != nil {
+			return err
+		}
+		v, err := a.immediate(operands[1], 0xFFFF)
+		if err != nil {
+			return err
+		}
+		imm = int32(v)
+	case fmtBranch:
+		if imm, err = a.branchTarget(operands[0]); err != nil {
+			return err
+		}
+	case fmtJumpReg:
+		if ra, err = a.register(operands[0]); err != nil {
+			return err
+		}
+	case fmtOneReg:
+		if rd, err = a.register(operands[0]); err != nil {
+			return err
+		}
+	case fmtImmOnly:
+		v, err := a.immediate(operands[0], 0xFFFF)
+		if err != nil {
+			return err
+		}
+		imm = int32(v)
+	}
+	a.emitWord(Encode(op, rd, ra, rb, imm), emit)
+	return nil
+}
+
+var mnemonicTable = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opTable))
+	for op, info := range opTable {
+		m[info.name] = op
+	}
+	return m
+}()
+
+func operandCount(f opFormat) int {
+	switch f {
+	case fmtNone:
+		return 0
+	case fmtBranch, fmtJumpReg, fmtOneReg, fmtImmOnly:
+		return 1
+	case fmtRegImm, fmtRegReg, fmtMem, fmtCmpRR, fmtCmpRI:
+		return 2
+	case fmtThreeReg, fmtRegRegImm:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+var regAliases = map[string]int{"fp": RegFP, "lr": RegLR, "sp": RegSP}
+
+func (a *assembler) register(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return n, nil
+		}
+	}
+	return 0, a.errf("bad register %q", s)
+}
+
+// immediate parses a number (or, for full-width immediates, a label).
+// maxMag is the magnitude mask: 0xFFFF for 16-bit fields (value must fit
+// in int16 or uint16), 0xFFFFFFFF for 32-bit contexts.
+func (a *assembler) immediate(s string, maxMag uint64) (int64, error) {
+	s = strings.TrimSpace(s)
+	if addr, ok := a.labels[s]; ok {
+		return int64(addr), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		if isIdent(s) {
+			if a.resolving {
+				return 0, a.errf("undefined label %q", s)
+			}
+			// Unknown label in pass 1: sized as 0, resolved in pass 2.
+			return 0, nil
+		}
+		return 0, a.errf("bad immediate %q", s)
+	}
+	if maxMag == 0xFFFF {
+		if v < -(1<<15) || v > (1<<16)-1 {
+			return 0, a.errf("immediate %d does not fit in 16 bits", v)
+		}
+	} else if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, a.errf("immediate %d does not fit in 32 bits", v)
+	}
+	return v, nil
+}
+
+// memOperand parses "[ra+imm]", "[ra-imm]" or "[ra]".
+func (a *assembler) memOperand(s string) (int, int32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := a.register(inner)
+		return r, 0, err
+	}
+	r, err := a.register(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := a.immediate(inner[sep:], 0xFFFF)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, int32(v), nil
+}
+
+// branchTarget resolves a label (or numeric word offset) to a PC-relative
+// word offset from the current instruction.
+func (a *assembler) branchTarget(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	if addr, ok := a.labels[s]; ok {
+		off := (int64(addr) - int64(a.pc)) / 4
+		if off < -(1<<15) || off >= 1<<15 {
+			return 0, a.errf("branch to %q out of range (%d words)", s, off)
+		}
+		return int32(off), nil
+	}
+	if isIdent(s) {
+		if a.resolving {
+			return 0, a.errf("undefined label %q", s)
+		}
+		// Unknown forward label in pass 1: sized as 0, resolved in pass 2.
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, a.errf("bad branch target %q", s)
+	}
+	return int32(v), nil
+}

@@ -1,0 +1,50 @@
+package cpu
+
+import "testing"
+
+// FuzzAssemble exercises the assembler with arbitrary source text:
+// it must reject or accept, never panic, and anything accepted must
+// disassemble cleanly.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r1, 5\nsys 2")
+	f.Add(".org 0x100\nstart: jmp start")
+	f.Add("li r2, 0xDEADBEEF\npush r2\npop r3")
+	f.Add("loop: addi r1, r1, -1\ncmpi r1, 0\nbgt loop")
+	f.Add("task: ld r4, [r5+8]\nst r4, [r5-4]\njr lr")
+	f.Add("; comment only")
+	f.Add(".word 0xFFFFFFFF")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for _, w := range prog.Words {
+			if Disassemble(w) == "" {
+				t.Errorf("assembled word %#x has empty disassembly", w)
+			}
+		}
+	})
+}
+
+// FuzzInterpreter loads arbitrary words as a program and steps the CPU:
+// every path must end in a trap or keep retiring, never panic.
+func FuzzInterpreter(f *testing.F) {
+	f.Add([]byte{0x07, 0x10, 0x00, 0x05, 0xA1, 0x00, 0x00, 0x02})
+	f.Add([]byte{0xEE, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		mem := NewMemory(128, false)
+		for i := 0; i+3 < len(raw) && i/4 < 128; i += 4 {
+			w := uint32(raw[i])<<24 | uint32(raw[i+1])<<16 |
+				uint32(raw[i+2])<<8 | uint32(raw[i+3])
+			mem.Poke(uint32(i), w)
+		}
+		c := New(mem, nil)
+		c.Reset(0)
+		c.Regs[RegSP] = 128 * 4
+		for i := 0; i < 500; i++ {
+			if _, exc := c.Step(); exc != nil {
+				return
+			}
+		}
+	})
+}

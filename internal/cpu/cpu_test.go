@@ -1,0 +1,891 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// runProgram assembles src, loads it at its origin, points SP at the top
+// of RAM and runs until SYS/HALT/exception or 100k instructions.
+func runProgram(t *testing.T, src string) (*CPU, Event, *Exception) {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(16384, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(prog.Origin)
+	c.Regs[RegSP] = mem.SizeBytes()
+	ev, exc := c.Run(100000)
+	return c, ev, exc
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for op, info := range opTable {
+		w := Encode(op, 3, 5, 7, -9)
+		d, ok := decode(w)
+		if !ok {
+			t.Fatalf("%s did not decode", info.name)
+		}
+		if d.op != op {
+			t.Errorf("%s decoded to %v", info.name, d.op)
+		}
+		switch info.format {
+		case fmtThreeReg, fmtCmpRR:
+			if d.rd != 3 || d.ra != 5 || d.rb != 7 {
+				t.Errorf("%s fields: %+v", info.name, d)
+			}
+		case fmtRegImm, fmtRegRegImm, fmtMem, fmtCmpRI, fmtBranch, fmtImmOnly:
+			if d.imm != -9 {
+				t.Errorf("%s imm = %d", info.name, d.imm)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsUnassignedOpcodes(t *testing.T) {
+	assigned := 0
+	for op := 0; op < 256; op++ {
+		if _, ok := decode(uint32(op) << 24); ok {
+			assigned++
+		}
+	}
+	if assigned != len(opTable) {
+		t.Errorf("decode accepts %d opcodes, table has %d", assigned, len(opTable))
+	}
+	// Sparsity: most random opcode bytes must be illegal, which is what
+	// gives the illegal-opcode EDM its coverage.
+	if assigned > 64 {
+		t.Errorf("opcode space too dense: %d assigned", assigned)
+	}
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	c, ev, exc := runProgram(t, `
+		movi r1, 21
+		movi r2, 2
+		mul r3, r1, r2     ; 42
+		addi r3, r3, 58    ; 100
+		movi r4, 7
+		div r5, r3, r4     ; 14
+		mod r6, r3, r4     ; 2
+		sub r7, r5, r6     ; 12
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if ev.Sys != SysEnd {
+		t.Fatalf("event = %+v", ev)
+	}
+	for reg, want := range map[int]uint32{3: 100, 5: 14, 6: 2, 7: 12} {
+		if c.Regs[reg] != want {
+			t.Errorf("r%d = %d, want %d", reg, c.Regs[reg], want)
+		}
+	}
+}
+
+func TestLogicalAndShifts(t *testing.T) {
+	c, _, exc := runProgram(t, `
+		li r1, 0xF0F0
+		li r2, 0x0FF0
+		and r3, r1, r2    ; 0x00F0
+		or  r4, r1, r2    ; 0xFFF0
+		xor r5, r1, r2    ; 0xFF00
+		movi r6, 4
+		shl r7, r3, r6    ; 0x0F00
+		shr r8, r4, r6    ; 0x0FFF
+		movi r9, -16
+		sra r10, r9, r6   ; still -1 (0xFFFFFFFF)
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	for reg, want := range map[int]uint32{
+		3: 0x00F0, 4: 0xFFF0, 5: 0xFF00, 7: 0x0F00, 8: 0x0FFF, 10: 0xFFFFFFFF,
+	} {
+		if c.Regs[reg] != want {
+			t.Errorf("r%d = %#x, want %#x", reg, c.Regs[reg], want)
+		}
+	}
+}
+
+func TestLiLoadsFullWord(t *testing.T) {
+	c, _, exc := runProgram(t, `
+		li r1, 0xDEADBEEF
+		li r2, -1
+		li r3, 0x8000
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[1] != 0xDEADBEEF || c.Regs[2] != 0xFFFFFFFF || c.Regs[3] != 0x8000 {
+		t.Errorf("li results: %#x %#x %#x", c.Regs[1], c.Regs[2], c.Regs[3])
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	c, _, exc := runProgram(t, `
+		movi r1, 10     ; counter
+		movi r2, 0      ; sum
+	loop:
+		add r2, r2, r1
+		addi r1, r1, -1
+		cmpi r1, 0
+		bgt loop
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[2])
+	}
+}
+
+func TestSignedBranches(t *testing.T) {
+	// Compare -5 and 3 across all signed conditions.
+	c, _, exc := runProgram(t, `
+		movi r1, -5
+		movi r2, 3
+		movi r10, 0
+		cmp r1, r2
+		blt lt_ok
+		jmp fail
+	lt_ok:
+		addi r10, r10, 1
+		cmp r2, r1
+		bgt gt_ok
+		jmp fail
+	gt_ok:
+		addi r10, r10, 1
+		cmp r1, r1
+		ble le_ok
+		jmp fail
+	le_ok:
+		addi r10, r10, 1
+		cmp r2, r1
+		bge ge_ok
+		jmp fail
+	ge_ok:
+		addi r10, r10, 1
+		cmp r1, r2
+		bne ne_ok
+		jmp fail
+	ne_ok:
+		addi r10, r10, 1
+		cmp r1, r1
+		beq done
+		jmp fail
+	fail:
+		movi r10, -1
+	done:
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[10] != 5 {
+		t.Errorf("r10 = %d, want 5", int32(c.Regs[10]))
+	}
+}
+
+func TestSignedOverflowComparison(t *testing.T) {
+	// INT32_MIN < 1 must hold despite overflow in the subtraction —
+	// this is what the V flag is for.
+	c, _, exc := runProgram(t, `
+		li r1, 0x80000000   ; INT32_MIN
+		movi r2, 1
+		movi r3, 0
+		cmp r1, r2
+		blt ok
+		jmp done
+	ok:
+		movi r3, 1
+	done:
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[3] != 1 {
+		t.Error("INT32_MIN < 1 not taken")
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c, _, exc := runProgram(t, `
+		movi r1, 5
+		jal double
+		jal double
+		sys 2
+	double:
+		add r1, r1, r1
+		jr lr
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[1] != 20 {
+		t.Errorf("r1 = %d, want 20", c.Regs[1])
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	c, _, exc := runProgram(t, `
+		movi r1, 111
+		movi r2, 222
+		push r1
+		push r2
+		pop r3       ; 222
+		pop r4       ; 111
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[3] != 222 || c.Regs[4] != 111 {
+		t.Errorf("pop results %d, %d", c.Regs[3], c.Regs[4])
+	}
+	if c.Regs[RegSP] != c.Mem.SizeBytes() {
+		t.Errorf("SP = %#x, want %#x", c.Regs[RegSP], c.Mem.SizeBytes())
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	c, _, exc := runProgram(t, `
+		movi r1, 0x1000
+		movi r2, 77
+		st r2, [r1+4]
+		ld r3, [r1+4]
+		sys 2
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[3] != 77 {
+		t.Errorf("r3 = %d", c.Regs[3])
+	}
+	if c.Mem.Peek(0x1004) != 77 {
+		t.Error("memory not written")
+	}
+}
+
+func TestHaltStops(t *testing.T) {
+	_, _, exc := runProgram(t, `halt`)
+	if exc == nil || exc.Kind != ExcHalt {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestIllegalOpcodeTraps(t *testing.T) {
+	_, _, exc := runProgram(t, `.word 0xEE000000`)
+	if exc == nil || exc.Kind != ExcIllegalOpcode {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestDivZeroTraps(t *testing.T) {
+	_, _, exc := runProgram(t, `
+		movi r1, 4
+		movi r2, 0
+		div r3, r1, r2
+	`)
+	if exc == nil || exc.Kind != ExcDivZero {
+		t.Fatalf("exc = %v", exc)
+	}
+	_, _, exc = runProgram(t, "movi r1, 4\nmovi r2, 0\nmod r3, r1, r2")
+	if exc == nil || exc.Kind != ExcDivZero {
+		t.Fatalf("mod exc = %v", exc)
+	}
+}
+
+func TestMisalignedAccessTraps(t *testing.T) {
+	_, _, exc := runProgram(t, `
+		movi r1, 0x1001
+		ld r2, [r1]
+	`)
+	if exc == nil || exc.Kind != ExcAddressError {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestOutOfRangeTraps(t *testing.T) {
+	_, _, exc := runProgram(t, `
+		li r1, 0x00100000  ; beyond 64 KiB RAM
+		ld r2, [r1]
+	`)
+	if exc == nil || exc.Kind != ExcBusError {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestStackPointerFaultCausesAddressError(t *testing.T) {
+	// The paper (§2.5) observed that SP faults trigger address/bus
+	// exceptions; reproduce by flipping a low SP bit before a push.
+	prog := MustAssemble("push r1\nsys 2")
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	c.Regs[RegSP] = mem.SizeBytes()
+	c.FlipRegister(RegSP, 0) // misalign
+	_, exc := c.Run(10)
+	if exc == nil || exc.Kind != ExcAddressError {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestPCFaultCausesIllegalOpcode(t *testing.T) {
+	// A high-bit PC flip lands in empty (zero) memory; word 0 decodes to
+	// opcode 0x00, which is unassigned.
+	prog := MustAssemble("nop\nnop\nsys 2")
+	mem := NewMemory(4096, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	c.FlipPC(10) // PC = 0x400, zeroed RAM
+	_, exc := c.Run(10)
+	if exc == nil || exc.Kind != ExcIllegalOpcode {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestALUFaultSilentlyCorrupts(t *testing.T) {
+	prog := MustAssemble(`
+		movi r1, 1
+		movi r2, 1
+		add r3, r1, r2
+		sys 2
+	`)
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	c.InjectALUFault(1 << 4)
+	_, exc := c.Run(10)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[3] != 2^(1<<4) {
+		t.Errorf("r3 = %d, want corrupted %d", c.Regs[3], 2^(1<<4))
+	}
+	// The fault is one-shot: re-running the add yields the right answer.
+	c.Reset(0)
+	if _, exc := c.Run(10); exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[3] != 2 {
+		t.Errorf("after restart r3 = %d, want 2", c.Regs[3])
+	}
+}
+
+func TestMMUConfinement(t *testing.T) {
+	prog := MustAssemble(`
+		movi r1, 0x2000
+		st r1, [r1]      ; outside the allowed data region
+	`)
+	mem := NewMemory(4096, false)
+	prog.LoadInto(mem)
+	mmu := NewMMU()
+	mmu.SetRegions([]Region{
+		{Start: 0, End: 0x100, Perms: PermRead | PermExec},
+		{Start: 0x1000, End: 0x1100, Perms: PermRead | PermWrite},
+	})
+	c := New(mem, mmu)
+	c.Reset(0)
+	_, exc := c.Run(10)
+	if exc == nil || exc.Kind != ExcMMUViolation {
+		t.Fatalf("exc = %v", exc)
+	}
+	if mmu.Violations != 1 {
+		t.Errorf("violations = %d", mmu.Violations)
+	}
+}
+
+func TestMMUBlocksExecOutsideCode(t *testing.T) {
+	prog := MustAssemble("jmp target\nnop\ntarget: nop")
+	mem := NewMemory(4096, false)
+	prog.LoadInto(mem)
+	mmu := NewMMU()
+	mmu.SetRegions([]Region{{Start: 0, End: 4, Perms: PermRead | PermExec}})
+	c := New(mem, mmu)
+	c.Reset(0)
+	_, exc := c.Run(10)
+	if exc == nil || exc.Kind != ExcMMUViolation {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestSignatureTracksCheckpoints(t *testing.T) {
+	c1, _, exc := runProgram(t, "sig 1\nsig 2\nsig 3\nsys 2")
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	c2, _, _ := runProgram(t, "sig 1\nsig 2\nsig 3\nsys 2")
+	if c1.Signature != c2.Signature {
+		t.Error("signature not deterministic")
+	}
+	c3, _, _ := runProgram(t, "sig 1\nsig 3\nsig 2\nsys 2")
+	if c1.Signature == c3.Signature {
+		t.Error("signature insensitive to checkpoint order")
+	}
+	c4, _, _ := runProgram(t, "sig 1\nsig 2\nsys 2")
+	if c1.Signature == c4.Signature {
+		t.Error("signature insensitive to skipped checkpoint")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	prog := MustAssemble("movi r1, 42\nsys 2")
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	c.Regs[RegSP] = 1024
+	snap := c.Snapshot()
+	if _, exc := c.Run(10); exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[1] != 42 {
+		t.Fatal("program did not run")
+	}
+	c.FlipRegister(1, 3)
+	c.Restore(snap)
+	if c.Regs[1] != 0 || c.PC != 0 {
+		t.Errorf("restore incomplete: r1=%d pc=%#x", c.Regs[1], c.PC)
+	}
+	if _, exc := c.Run(10); exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Regs[1] != 42 {
+		t.Error("re-run after restore failed")
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	c, _, exc := runProgram(t, `
+		movi r1, 3     ; 1 cycle
+		movi r2, 4     ; 1
+		mul r3, r1, r2 ; 3
+		div r4, r3, r1 ; 12
+		sys 2          ; 1
+	`)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Cycles != 18 {
+		t.Errorf("cycles = %d, want 18", c.Cycles)
+	}
+	if c.Retired != 5 {
+		t.Errorf("retired = %d, want 5", c.Retired)
+	}
+}
+
+func TestRunStopsAtBudget(t *testing.T) {
+	prog := MustAssemble("loop: jmp loop")
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	ev, exc := c.Run(100)
+	if exc != nil || ev.Sys != 0 {
+		t.Fatalf("ev=%+v exc=%v", ev, exc)
+	}
+	if c.Retired != 100 {
+		t.Errorf("retired = %d", c.Retired)
+	}
+}
+
+type testIO struct {
+	in  map[uint32]uint32
+	out map[uint32]uint32
+}
+
+func (io *testIO) LoadPort(port uint32) (uint32, error) { return io.in[port], nil }
+func (io *testIO) StorePort(port, v uint32) error {
+	io.out[port] = v
+	return nil
+}
+
+func TestMemoryMappedIO(t *testing.T) {
+	prog := MustAssemble(`
+		li r1, 0xFFFF0000
+		ld r2, [r1]        ; port 0
+		addi r2, r2, 1
+		st r2, [r1+4]      ; port 1
+		sys 2
+	`)
+	mem := NewMemory(1024, false)
+	io := &testIO{in: map[uint32]uint32{0: 41}, out: map[uint32]uint32{}}
+	mem.AttachIO(io)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	if _, exc := c.Run(20); exc != nil {
+		t.Fatal(exc)
+	}
+	if io.out[1] != 42 {
+		t.Errorf("port 1 = %d, want 42", io.out[1])
+	}
+}
+
+func TestIOWithoutBusIsBusError(t *testing.T) {
+	_, _, exc := runProgram(t, `
+		li r1, 0xFFFF0000
+		ld r2, [r1]
+	`)
+	if exc == nil || exc.Kind != ExcBusError {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestECCSingleBitCorrected(t *testing.T) {
+	mem := NewMemory(64, true)
+	mem.Poke(16, 0xABCD)
+	mem.FlipBit(16, 3)
+	v, exc := mem.Load(16)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if v != 0xABCD {
+		t.Errorf("corrected value = %#x", v)
+	}
+	if mem.CorrectedErrors != 1 {
+		t.Errorf("corrected = %d", mem.CorrectedErrors)
+	}
+	// Correction is persistent.
+	if v, _ := mem.Load(16); v != 0xABCD {
+		t.Error("second read corrupt")
+	}
+}
+
+func TestECCDoubleBitDetected(t *testing.T) {
+	mem := NewMemory(64, true)
+	mem.Poke(16, 0xABCD)
+	mem.FlipBit(16, 3)
+	mem.FlipBit(16, 7)
+	_, exc := mem.Load(16)
+	if exc == nil || exc.Kind != ExcECCError {
+		t.Fatalf("exc = %v", exc)
+	}
+	// Error consumed; overwrite clears the word.
+	if exc := mem.Store(16, 1); exc != nil {
+		t.Fatal(exc)
+	}
+	if v, exc := mem.Load(16); exc != nil || v != 1 {
+		t.Errorf("after store: v=%v exc=%v", v, exc)
+	}
+}
+
+func TestECCFlipTwiceSameBitCancels(t *testing.T) {
+	mem := NewMemory(64, true)
+	mem.Poke(16, 5)
+	mem.FlipBit(16, 3)
+	mem.FlipBit(16, 3)
+	v, exc := mem.Load(16)
+	if exc != nil || v != 5 {
+		t.Errorf("v=%v exc=%v", v, exc)
+	}
+	if mem.CorrectedErrors != 0 {
+		t.Errorf("corrected = %d, want 0", mem.CorrectedErrors)
+	}
+}
+
+func TestNoECCFlipCorruptsSilently(t *testing.T) {
+	mem := NewMemory(64, false)
+	mem.Poke(16, 0)
+	mem.FlipBit(16, 5)
+	v, exc := mem.Load(16)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if v != 1<<5 {
+		t.Errorf("v = %#x", v)
+	}
+}
+
+func TestStoreClearsPendingECC(t *testing.T) {
+	mem := NewMemory(64, true)
+	mem.FlipBit(16, 1)
+	mem.FlipBit(16, 2)
+	if exc := mem.Store(16, 9); exc != nil {
+		t.Fatal(exc)
+	}
+	v, exc := mem.Load(16)
+	if exc != nil || v != 9 {
+		t.Errorf("v=%v exc=%v", v, exc)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "frobnicate r1",
+		"bad register":      "movi r99, 1",
+		"bad operand count": "add r1, r2",
+		"bad immediate":     "movi r1, zzz-",
+		"imm too large":     "movi r1, 100000",
+		"undefined label":   "jmp nowhere",
+		"duplicate label":   "a: nop\na: nop",
+		"bad mem operand":   "ld r1, r2",
+		"org after code":    "nop\n.org 0x100\nnop",
+		"org misaligned":    ".org 0x101\nnop",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled %q without error", name, src)
+		}
+	}
+}
+
+func TestAssemblerOrgAndLabels(t *testing.T) {
+	prog, err := Assemble(`
+		.org 0x200
+	start:
+		nop
+	after:
+		sys 2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Origin != 0x200 {
+		t.Errorf("origin = %#x", prog.Origin)
+	}
+	if a, _ := prog.Entry("start"); a != 0x200 {
+		t.Errorf("start = %#x", a)
+	}
+	if a, _ := prog.Entry("after"); a != 0x204 {
+		t.Errorf("after = %#x", a)
+	}
+	if _, err := prog.Entry("missing"); err == nil {
+		t.Error("missing label did not error")
+	}
+}
+
+func TestDisassembleFormats(t *testing.T) {
+	cases := map[uint32]string{
+		Encode(OpNop, 0, 0, 0, 0):   "nop",
+		Encode(OpMovi, 1, 0, 0, -7): "movi r1, -7",
+		Encode(OpAdd, 1, 2, 3, 0):   "add r1, r2, r3",
+		Encode(OpLd, 4, 5, 0, 8):    "ld r4, [r5+8]",
+		Encode(OpSt, 4, 5, 0, -4):   "st r4, [r5-4]",
+		Encode(OpBeq, 0, 0, 0, 3):   "beq +3",
+		Encode(OpJr, 0, 14, 0, 0):   "jr r14",
+		Encode(OpPush, 9, 0, 0, 0):  "push r9",
+		Encode(OpSys, 0, 0, 0, 2):   "sys 2",
+		Encode(OpCmp, 0, 1, 2, 0):   "cmp r1, r2",
+		Encode(OpCmpi, 0, 1, 0, 5):  "cmpi r1, 5",
+		Encode(OpMov, 1, 2, 0, 0):   "mov r1, r2",
+		Encode(OpAddi, 1, 2, 0, -1): "addi r1, r2, -1",
+		0xEE000000:                  ".word 0xee000000",
+	}
+	for w, want := range cases {
+		if got := Disassemble(w); got != want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestAssembleDisassembleProperty(t *testing.T) {
+	// Property: assembling the disassembly of a legal instruction
+	// reproduces the word (for formats without labels).
+	check := func(opIdx uint8, rd, ra, rb uint8, imm int16) bool {
+		ops := []Opcode{OpNop, OpMovi, OpMov, OpAdd, OpSub, OpMul, OpAnd,
+			OpOr, OpXor, OpAddi, OpLd, OpSt, OpCmp, OpCmpi, OpPush, OpPop,
+			OpSig, OpSys, OpJr}
+		op := ops[int(opIdx)%len(ops)]
+		w := Encode(op, int(rd%16), int(ra%16), int(rb%16), int32(imm))
+		text := Disassemble(w)
+		if strings.HasPrefix(text, ".word") {
+			return true
+		}
+		prog, err := Assemble(text)
+		if err != nil || len(prog.Words) != 1 {
+			return false
+		}
+		// Registers not used by the format encode as 0, so compare the
+		// decoded semantics instead of raw bits.
+		d1, _ := decode(w)
+		d2, _ := decode(prog.Words[0])
+		if d1.op != d2.op || d1.imm != d2.imm {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	mem := NewMemory(16, false)
+	if _, exc := mem.Load(16 * 4); exc == nil || exc.Kind != ExcBusError {
+		t.Error("load past end did not bus-error")
+	}
+	if exc := mem.Store(16*4, 1); exc == nil || exc.Kind != ExcBusError {
+		t.Error("store past end did not bus-error")
+	}
+	// FlipBit out of range is a no-op, not a panic.
+	mem.FlipBit(1<<20, 3)
+	mem.FlipBit(0, 99)
+}
+
+func TestPeekPokePanicOnBadAddress(t *testing.T) {
+	mem := NewMemory(16, false)
+	for name, fn := range map[string]func(){
+		"peek misaligned": func() { mem.Peek(2) },
+		"poke oob":        func() { mem.Poke(1<<20, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkInterpreterLoop(b *testing.B) {
+	prog := MustAssemble(`
+		movi r1, 1000
+	loop:
+		addi r1, r1, -1
+		cmpi r1, 0
+		bgt loop
+		sys 2
+	`)
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Reset(0)
+		if _, exc := c.Run(1 << 20); exc != nil {
+			b.Fatal(exc)
+		}
+	}
+}
+
+func TestRunCyclesBounds(t *testing.T) {
+	prog := MustAssemble(`
+		movi r1, 100
+	loop:
+		addi r1, r1, -1
+		cmpi r1, 0
+		bgt loop
+		sys 2
+	`)
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0)
+	// A 10-cycle slice consumes ≥10 cycles (may overshoot by one
+	// instruction) and neither traps nor completes.
+	ev, exc, used := c.RunCycles(10)
+	if exc != nil || ev.Sys != 0 {
+		t.Fatalf("ev=%+v exc=%v", ev, exc)
+	}
+	if used < 10 || used > 13 {
+		t.Errorf("used = %d", used)
+	}
+	// Run to completion in slices; the program must end at SYS 2.
+	for i := 0; i < 100; i++ {
+		ev, exc, _ = c.RunCycles(50)
+		if exc != nil {
+			t.Fatal(exc)
+		}
+		if ev.Sys == SysEnd {
+			return
+		}
+	}
+	t.Fatal("program never completed")
+}
+
+func TestExceptionErrorString(t *testing.T) {
+	e := &Exception{Kind: ExcBusError, Addr: 0x1234, PC: 0x10}
+	if !strings.Contains(e.Error(), "bus-error") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	for _, k := range []ExcKind{ExcIllegalOpcode, ExcAddressError, ExcBusError,
+		ExcMMUViolation, ExcDivZero, ExcECCError, ExcHalt, ExcKind(99)} {
+		if k.String() == "" {
+			t.Errorf("ExcKind(%d) unnamed", int(k))
+		}
+	}
+}
+
+func TestMemoryAccessors(t *testing.T) {
+	mem := NewMemory(16, true)
+	if !mem.ECCEnabled() {
+		t.Error("ECCEnabled false")
+	}
+	if mem.SizeBytes() != 64 {
+		t.Errorf("SizeBytes = %d", mem.SizeBytes())
+	}
+	prog := MustAssemble("nop\nsys 2")
+	if prog.SizeBytes() != 8 {
+		t.Errorf("program SizeBytes = %d", prog.SizeBytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMemory(0) did not panic")
+		}
+	}()
+	NewMemory(0, false)
+}
+
+func TestMMUDisable(t *testing.T) {
+	mmu := NewMMU()
+	if mmu.Enabled() {
+		t.Error("fresh MMU enabled")
+	}
+	mmu.SetRegions([]Region{{Start: 0, End: 4, Perms: PermRead}})
+	if !mmu.Enabled() {
+		t.Error("SetRegions did not enable")
+	}
+	if exc := mmu.Check(100, PermRead); exc == nil {
+		t.Error("violation not caught")
+	}
+	mmu.Disable()
+	if exc := mmu.Check(100, PermRead); exc != nil {
+		t.Error("disabled MMU still checks")
+	}
+}
+
+func TestAssemblerLabelAsImmediate(t *testing.T) {
+	// A label used as a 32-bit immediate (via li) resolves to its address.
+	prog, err := Assemble(`
+		.org 0x0100
+	entry:
+		li r1, data
+		sys 2
+	data:
+		.word 42
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(1024, false)
+	prog.LoadInto(mem)
+	c := New(mem, nil)
+	c.Reset(0x100)
+	if _, exc := c.Run(10); exc != nil {
+		t.Fatal(exc)
+	}
+	dataAddr, _ := prog.Entry("data")
+	if c.Regs[1] != dataAddr {
+		t.Errorf("r1 = %#x, want %#x", c.Regs[1], dataAddr)
+	}
+	if mem.Peek(dataAddr) != 42 {
+		t.Error(".word not emitted")
+	}
+}

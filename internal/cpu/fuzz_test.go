@@ -1,0 +1,133 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsProperty: any 32-bit word either decodes or is
+// rejected; Disassemble always returns something printable.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	check := func(w uint32) bool {
+		d, ok := decode(w)
+		if ok && d.info.name == "" {
+			return false
+		}
+		return Disassemble(w) != ""
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepOnRandomMemoryNeverPanics: executing random garbage traps or
+// retires but never panics and never writes outside RAM — the hardware
+// EDM surface holds up under arbitrary corruption.
+func TestStepOnRandomMemoryNeverPanics(t *testing.T) {
+	check := func(seed uint32, words []uint32) bool {
+		mem := NewMemory(256, false)
+		for i, w := range words {
+			if i >= 256 {
+				break
+			}
+			mem.Poke(uint32(i)*4, w)
+		}
+		c := New(mem, nil)
+		c.Reset(uint32(seed%256) * 4)
+		c.Regs[RegSP] = 256 * 4
+		for i := 0; i < 200; i++ {
+			_, exc := c.Step()
+			if exc != nil {
+				return true // trapped: the EDM fired
+			}
+		}
+		return true // ran out of budget: also fine
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepWithMMUOnRandomMemory: same, with confinement enabled — MMU
+// violations must surface as exceptions, not panics.
+func TestStepWithMMUOnRandomMemory(t *testing.T) {
+	check := func(words []uint32) bool {
+		mem := NewMemory(256, true)
+		for i, w := range words {
+			if i >= 64 {
+				break
+			}
+			mem.Poke(uint32(i)*4, w)
+		}
+		mmu := NewMMU()
+		mmu.SetRegions([]Region{
+			{Start: 0, End: 64 * 4, Perms: PermRead | PermExec},
+			{Start: 128 * 4, End: 256 * 4, Perms: PermRead | PermWrite},
+		})
+		c := New(mem, mmu)
+		c.Reset(0)
+		c.Regs[RegSP] = 256 * 4
+		for i := 0; i < 100; i++ {
+			if _, exc := c.Step(); exc != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomBitFlipsNeverWedgeInterpreter: flip random bits into a
+// running known-good program; every run must end in a trap, a SYS end,
+// or budget exhaustion — never a Go-level fault.
+func TestRandomBitFlipsNeverWedgeInterpreter(t *testing.T) {
+	prog := MustAssemble(`
+		movi r1, 100
+		movi r2, 0
+	loop:
+		add r2, r2, r1
+		addi r1, r1, -1
+		cmpi r1, 0
+		bgt loop
+		sys 2
+	`)
+	check := func(reg uint8, bit1, bit2 uint8, when uint8) bool {
+		mem := NewMemory(1024, false)
+		prog.LoadInto(mem)
+		c := New(mem, nil)
+		c.Reset(0)
+		c.Regs[RegSP] = 1024 * 4
+		steps := int(when)%100 + 1
+		for i := 0; i < steps; i++ {
+			if _, exc := c.Step(); exc != nil {
+				return true
+			}
+		}
+		c.FlipRegister(int(reg%16), uint(bit1%32))
+		c.FlipPC(uint(bit2 % 32))
+		for i := 0; i < 2000; i++ {
+			ev, exc := c.Step()
+			if exc != nil || ev.Sys != 0 {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssemblerNeverPanicsOnGarbage: arbitrary text is rejected with an
+// error, not a panic.
+func TestAssemblerNeverPanicsOnGarbage(t *testing.T) {
+	check := func(src string) bool {
+		_, _ = Assemble(src) // must not panic
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

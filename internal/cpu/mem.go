@@ -1,0 +1,240 @@
+package cpu
+
+import (
+	"fmt"
+)
+
+// Memory is a word-addressed RAM with an optional SEC-DED ECC model and a
+// memory-mapped I/O window, as assumed by the paper (§2.6: "we assume
+// that the memory is protected from direct faults using ECC").
+//
+// With ECC enabled, injected single-bit flips are corrected transparently
+// on the next read (counted in CorrectedErrors); a second flip in the
+// same word becomes an uncorrectable error that traps. With ECC disabled,
+// flips silently corrupt the stored word — the configuration used to
+// measure how much of Table 1's protection ECC contributes.
+type Memory struct {
+	words []uint32
+	ecc   bool
+	// pendingFlips tracks injected flip masks per word address while ECC
+	// is enabled (the stored data stays intact; the codeword is what is
+	// corrupted).
+	pendingFlips map[uint32]uint32
+	// CorrectedErrors counts single-bit errors repaired by ECC.
+	CorrectedErrors uint64
+	// io handles loads/stores in the I/O window, when attached.
+	io IOBus
+}
+
+// IOBase is the first address of the memory-mapped I/O window.
+const IOBase uint32 = 0xFFFF0000
+
+// IOBus receives loads and stores in the I/O window. Port numbers are
+// word offsets from IOBase.
+type IOBus interface {
+	// LoadPort returns the value of an input port.
+	LoadPort(port uint32) (uint32, error)
+	// StorePort writes an output port.
+	StorePort(port uint32, value uint32) error
+}
+
+// NewMemory allocates sizeWords words of RAM with the given ECC setting.
+func NewMemory(sizeWords int, ecc bool) *Memory {
+	if sizeWords <= 0 {
+		panic(fmt.Sprintf("cpu: memory size %d", sizeWords))
+	}
+	return &Memory{
+		words:        make([]uint32, sizeWords),
+		ecc:          ecc,
+		pendingFlips: make(map[uint32]uint32),
+	}
+}
+
+// AttachIO connects the memory-mapped I/O bus.
+func (m *Memory) AttachIO(bus IOBus) { m.io = bus }
+
+// SizeBytes reports the RAM size in bytes.
+func (m *Memory) SizeBytes() uint32 { return uint32(len(m.words)) * 4 }
+
+// ECCEnabled reports whether the SEC-DED model is active.
+func (m *Memory) ECCEnabled() bool { return m.ecc }
+
+// inRAM reports whether a byte address falls inside RAM.
+func (m *Memory) inRAM(addr uint32) bool { return addr/4 < uint32(len(m.words)) }
+
+// isIO reports whether a byte address falls inside the I/O window.
+func isIO(addr uint32) bool { return addr >= IOBase }
+
+// Load reads the word at a byte address. It returns an exception for
+// misalignment (address error), out-of-range access (bus error), or an
+// uncorrectable ECC error.
+func (m *Memory) Load(addr uint32) (uint32, *Exception) {
+	if addr%4 != 0 {
+		return 0, &Exception{Kind: ExcAddressError, Addr: addr}
+	}
+	if isIO(addr) {
+		if m.io == nil {
+			return 0, &Exception{Kind: ExcBusError, Addr: addr}
+		}
+		v, err := m.io.LoadPort((addr - IOBase) / 4)
+		if err != nil {
+			return 0, &Exception{Kind: ExcBusError, Addr: addr}
+		}
+		return v, nil
+	}
+	if !m.inRAM(addr) {
+		return 0, &Exception{Kind: ExcBusError, Addr: addr}
+	}
+	idx := addr / 4
+	if m.ecc {
+		if mask, dirty := m.pendingFlips[idx]; dirty {
+			switch popcount(mask) {
+			case 0:
+				delete(m.pendingFlips, idx)
+			case 1:
+				// Single-bit error: corrected, data intact.
+				m.CorrectedErrors++
+				delete(m.pendingFlips, idx)
+			default:
+				// Multi-bit: uncorrectable, detected by SEC-DED.
+				delete(m.pendingFlips, idx)
+				return 0, &Exception{Kind: ExcECCError, Addr: addr}
+			}
+		}
+	}
+	return m.words[idx], nil
+}
+
+// Store writes the word at a byte address, with the same fault semantics
+// as Load. A store to a word with a pending ECC error overwrites the
+// whole codeword, clearing the error.
+func (m *Memory) Store(addr, value uint32) *Exception {
+	if addr%4 != 0 {
+		return &Exception{Kind: ExcAddressError, Addr: addr}
+	}
+	if isIO(addr) {
+		if m.io == nil {
+			return &Exception{Kind: ExcBusError, Addr: addr}
+		}
+		if err := m.io.StorePort((addr-IOBase)/4, value); err != nil {
+			return &Exception{Kind: ExcBusError, Addr: addr}
+		}
+		return nil
+	}
+	if !m.inRAM(addr) {
+		return &Exception{Kind: ExcBusError, Addr: addr}
+	}
+	idx := addr / 4
+	if m.ecc {
+		delete(m.pendingFlips, idx)
+	}
+	m.words[idx] = value
+	return nil
+}
+
+// Poke writes a word without fault semantics (loader/kernel use).
+func (m *Memory) Poke(addr, value uint32) {
+	if addr%4 != 0 || !m.inRAM(addr) {
+		panic(fmt.Sprintf("cpu: poke at %#x", addr))
+	}
+	idx := addr / 4
+	if m.ecc {
+		delete(m.pendingFlips, idx)
+	}
+	m.words[idx] = value
+}
+
+// Peek reads a word without fault semantics (ignores pending ECC state).
+func (m *Memory) Peek(addr uint32) uint32 {
+	if addr%4 != 0 || !m.inRAM(addr) {
+		panic(fmt.Sprintf("cpu: peek at %#x", addr))
+	}
+	return m.words[addr/4]
+}
+
+// FlipBit injects a transient bit flip into the word holding the given
+// byte address. With ECC enabled, the flip corrupts the codeword and is
+// resolved at the next access; with ECC disabled, the stored data is
+// corrupted immediately and silently.
+func (m *Memory) FlipBit(addr uint32, bit uint) {
+	if !m.inRAM(addr) || bit > 31 {
+		return
+	}
+	idx := addr / 4
+	if m.ecc {
+		m.pendingFlips[idx] ^= 1 << bit
+		return
+	}
+	m.words[idx] ^= 1 << bit
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// Perm is an MMU permission bit set.
+type Perm uint8
+
+// MMU permissions.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// Region is a contiguous address range [Start, End) with permissions.
+type Region struct {
+	Start, End uint32
+	Perms      Perm
+}
+
+// Contains reports whether addr is inside the region with perm allowed.
+func (r Region) Contains(addr uint32, perm Perm) bool {
+	return addr >= r.Start && addr < r.End && r.Perms&perm == perm
+}
+
+// MMU checks accesses against the region set of the currently running
+// task, implementing the fault-confinement EDM of Table 1 ("detects
+// memory accesses outside the task's allowed memory area").
+type MMU struct {
+	regions []Region
+	enabled bool
+	// Violations counts detected violations.
+	Violations uint64
+}
+
+// NewMMU returns an MMU with no regions, disabled.
+func NewMMU() *MMU { return &MMU{} }
+
+// SetRegions installs the accessible regions and enables checking.
+func (u *MMU) SetRegions(regions []Region) {
+	u.regions = make([]Region, len(regions))
+	copy(u.regions, regions)
+	u.enabled = true
+}
+
+// Disable turns off checking (kernel-mode accesses).
+func (u *MMU) Disable() { u.enabled = false }
+
+// Enabled reports whether checking is active.
+func (u *MMU) Enabled() bool { return u.enabled }
+
+// Check validates an access; a violation increments Violations and
+// returns an MMU exception.
+func (u *MMU) Check(addr uint32, perm Perm) *Exception {
+	if !u.enabled {
+		return nil
+	}
+	for _, r := range u.regions {
+		if r.Contains(addr, perm) {
+			return nil
+		}
+	}
+	u.Violations++
+	return &Exception{Kind: ExcMMUViolation, Addr: addr}
+}

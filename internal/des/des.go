@@ -1,0 +1,272 @@
+// Package des provides a deterministic discrete-event simulation core.
+//
+// The simulator maintains a virtual clock and a priority queue of timed
+// events. Events scheduled for the same instant are ordered by an explicit
+// tie-break priority and then by insertion order, so a given schedule of
+// calls always replays identically. Nothing in this package reads the wall
+// clock: simulated real-time behaviour (preemption, deadlines, TDMA slots)
+// is therefore reproducible and immune to host scheduling jitter, which is
+// the substitution DESIGN.md documents for the paper's bare-metal kernel.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is an instant of simulated time in nanoseconds since simulation
+// start. It is a distinct type from time.Duration to keep simulated and
+// host time from being mixed accidentally.
+type Time int64
+
+// Convenient simulated-time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// MaxTime is the largest representable simulated instant.
+const MaxTime Time = 1<<63 - 1
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Hours reports t as a floating-point number of hours.
+func (t Time) Hours() float64 { return float64(t) / float64(Hour) }
+
+// String formats the instant with a unit chosen by magnitude.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at       Time
+	prio     int
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// At reports the instant the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Tie-break priorities for events scheduled at the same instant. Lower
+// values fire first. The bands keep infrastructure events (fault
+// injections, network deliveries) ordered sensibly around task dispatch.
+const (
+	PrioInject   = -100 // fault injections hit before anything else observes the instant
+	PrioNetwork  = -50  // frame deliveries precede task releases in the same slot
+	PrioKernel   = 0    // kernel housekeeping: releases, budget expiry, deadlines
+	PrioDispatch = 50   // dispatcher runs after all same-instant kernel events
+	PrioObserver = 100  // probes and trace sinks see the settled state
+)
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run variants when Stop was called.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Simulator is a single-threaded discrete-event simulator. The zero value
+// is ready to use; the clock starts at 0.
+//
+// Simulator is not safe for concurrent use. All model code runs inside
+// event callbacks on the caller's goroutine, which is what makes the
+// simulation deterministic.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// fired counts events executed, exposed for tests and benchmarks.
+	fired uint64
+}
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current simulated instant.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired reports the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports the number of events currently queued (including
+// canceled events not yet discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at instant at with the given same-instant
+// tie-break priority. Scheduling in the past panics: it indicates a model
+// bug that would otherwise silently corrupt causality.
+func (s *Simulator) Schedule(at Time, prio int, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	e := &Event{at: at, prio: prio, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run d after the current instant at kernel priority.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	return s.Schedule(s.now+d, PrioKernel, fn)
+}
+
+// Cancel prevents a queued event from firing. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop makes the current Run variant return ErrStopped after the current
+// callback completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the next queued event, advancing the clock to its instant.
+// It reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called. It returns
+// nil on a drained queue and ErrStopped if stopped.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil fires events up to and including instant t, then advances the
+// clock to exactly t. Events scheduled after t stay queued. It returns
+// ErrStopped if Stop was called.
+func (s *Simulator) RunUntil(t Time) error {
+	if t < s.now {
+		return fmt.Errorf("des: run until %v before now %v", t, s.now)
+	}
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next.at > t {
+			s.now = t
+			return nil
+		}
+		s.Step()
+	}
+	return ErrStopped
+}
+
+// peek returns the next live event without removing it.
+func (s *Simulator) peek() (*Event, bool) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e, true
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil, false
+}
+
+// NextEventAt reports the instant of the next live event, or MaxTime when
+// the queue is empty. Co-simulated components (the CPU interpreter) use it
+// to bound how long they may run before yielding back to the event loop.
+func (s *Simulator) NextEventAt() Time {
+	e, ok := s.peek()
+	if !ok {
+		return MaxTime
+	}
+	return e.at
+}
+
+// NextEventAfter reports the instant of the earliest live event strictly
+// after t, or MaxTime when there is none. Co-simulated CPUs bound their
+// run slices with this: events at the current instant have either
+// already fired (lower tie-break priority) or are other components'
+// same-instant work that cannot affect this CPU mid-slice.
+func (s *Simulator) NextEventAfter(t Time) Time {
+	best := MaxTime
+	for _, e := range s.queue {
+		if !e.canceled && e.at > t && e.at < best {
+			best = e.at
+		}
+	}
+	return best
+}

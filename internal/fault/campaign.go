@@ -1,0 +1,336 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// CampaignConfig parameterizes an injection campaign.
+type CampaignConfig struct {
+	// Trials is the number of injection runs. Default 1000.
+	Trials int
+	// Seed drives all random choices; campaigns are fully reproducible.
+	Seed uint64
+	// Targets restricts the fault locations. Default AllTargets().
+	Targets []Target
+	// KernelShare is the probability that a fault strikes during kernel
+	// execution. The paper assumes the kernel occupies ~5% of CPU time
+	// (§3.3, P_FS = 0.05); the simulated kernel's own share is far
+	// smaller (its code runs outside the simulated CPU), so the campaign
+	// models kernel hits explicitly. Default 0.05.
+	KernelShare float64
+	// KernelDetect is the probability that the kernel's own EDMs
+	// (assertions, range checks, per §2.3) detect a kernel fault and
+	// force fail-silence. Undetected kernel faults are non-covered
+	// errors. Default 0.98.
+	KernelDetect float64
+}
+
+func (c *CampaignConfig) applyDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 1000
+	}
+	if c.Targets == nil {
+		c.Targets = AllTargets()
+	}
+	if c.KernelShare == 0 {
+		c.KernelShare = 0.05
+	}
+	if c.KernelDetect == 0 {
+		c.KernelDetect = 0.98
+	}
+}
+
+// TrialRecord describes one injection run.
+type TrialRecord struct {
+	Fault   Fault
+	Kernel  bool // the fault hit kernel execution
+	Outcome Outcome
+	// Mechanisms lists the detection mechanisms that fired.
+	Mechanisms []string
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Config CampaignConfig
+	// Golden is the fault-free output sequence.
+	Golden []Write
+	// Counts tallies outcomes.
+	Counts map[Outcome]int
+	// ByMechanism tallies which detection mechanism fired first.
+	ByMechanism map[string]int
+	// ByTarget tallies outcomes per fault target.
+	ByTarget map[Target]map[Outcome]int
+	// Trials holds the individual records (in order).
+	Trials []TrialRecord
+
+	// Estimates of the paper's parameters (§3.2.2), conditioned as the
+	// paper defines them: CD over activated faults; PT/POM/PFS over
+	// detected errors.
+	CD, PT, POM, PFS stats.Proportion
+}
+
+// Activated is the number of faults that produced an error.
+func (r *Result) Activated() int {
+	total := 0
+	for o, n := range r.Counts {
+		if o != NotActivated {
+			total += n
+		}
+	}
+	return total
+}
+
+// Detected is the number of activated faults whose error was detected.
+func (r *Result) Detected() int {
+	return r.Counts[Masked] + r.Counts[Omission] + r.Counts[FailSilent]
+}
+
+// Summary renders a human-readable report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d trials, seed %d\n", r.Config.Trials, r.Config.Seed)
+	outcomes := []Outcome{NotActivated, Masked, Omission, FailSilent, ValueFailure}
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "  %-14s %6d\n", o.String()+":", r.Counts[o])
+	}
+	fmt.Fprintf(&b, "  activated: %d, detected: %d\n", r.Activated(), r.Detected())
+	fmt.Fprintf(&b, "  C_D  = %v\n", r.CD)
+	fmt.Fprintf(&b, "  P_T  = %v\n", r.PT)
+	fmt.Fprintf(&b, "  P_OM = %v\n", r.POM)
+	fmt.Fprintf(&b, "  P_FS = %v\n", r.PFS)
+	mechs := make([]string, 0, len(r.ByMechanism))
+	for m := range r.ByMechanism {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	for _, m := range mechs {
+		fmt.Fprintf(&b, "  detected by %-16s %6d\n", m+":", r.ByMechanism[m])
+	}
+	return b.String()
+}
+
+// Run executes the campaign on the workload.
+func Run(w Workload, cfg CampaignConfig) (*Result, error) {
+	cfg.applyDefaults()
+	if w == nil {
+		return nil, fmt.Errorf("fault: nil workload")
+	}
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("fault: %d trials", cfg.Trials)
+	}
+	golden, err := goldenRun(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(golden) == 0 {
+		return nil, fmt.Errorf("fault: golden run produced no outputs; workload broken")
+	}
+	rng := des.NewRand(cfg.Seed)
+	res := &Result{
+		Config:      cfg,
+		Golden:      golden,
+		Counts:      make(map[Outcome]int),
+		ByMechanism: make(map[string]int),
+		ByTarget:    make(map[Target]map[Outcome]int),
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rec, err := runTrial(w, cfg, rng, golden)
+		if err != nil {
+			return nil, fmt.Errorf("fault: trial %d: %w", trial, err)
+		}
+		res.Trials = append(res.Trials, rec)
+		res.Counts[rec.Outcome]++
+		if res.ByTarget[rec.Fault.Target] == nil {
+			res.ByTarget[rec.Fault.Target] = make(map[Outcome]int)
+		}
+		res.ByTarget[rec.Fault.Target][rec.Outcome]++
+		for _, m := range rec.Mechanisms {
+			res.ByMechanism[m]++
+		}
+	}
+	activated := res.Activated()
+	detected := res.Detected()
+	res.CD = stats.NewProportion(detected, activated)
+	res.PT = stats.NewProportion(res.Counts[Masked], detected)
+	res.POM = stats.NewProportion(res.Counts[Omission], detected)
+	res.PFS = stats.NewProportion(res.Counts[FailSilent], detected)
+	return res, nil
+}
+
+// goldenRun executes the workload fault-free.
+func goldenRun(w Workload) ([]Write, error) {
+	inst, err := w.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Sim.RunUntil(w.Horizon()); err != nil {
+		return nil, err
+	}
+	if failed, reason := inst.Kernel.Failed(); failed {
+		return nil, fmt.Errorf("fault: golden run failed silent: %s", reason)
+	}
+	if inst.Rec.Omissions > 0 {
+		return nil, fmt.Errorf("fault: golden run had omissions; workload unschedulable")
+	}
+	return inst.Rec.Writes, nil
+}
+
+// drawFault picks a random fault within the workload's windows.
+func drawFault(w Workload, cfg CampaignConfig, rng *des.Rand) Fault {
+	start, end := w.InjectionWindow()
+	at := start + des.Time(rng.Intn(int(end-start)))
+	target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+	f := Fault{At: at, Target: target}
+	switch target {
+	case TargetRegister:
+		f.Reg = rng.Intn(13) + 1 // r1..r13: live computation registers
+		f.Bit = uint(rng.Intn(32))
+	case TargetPC, TargetSP:
+		f.Bit = uint(rng.Intn(32))
+	case TargetALU:
+		f.Mask = 1 << uint(rng.Intn(32))
+	case TargetMemoryData:
+		base, words := w.DataRange()
+		f.Addr = base + uint32(rng.Intn(int(words)))*4
+		f.Bit = uint(rng.Intn(32))
+	case TargetMemoryCode:
+		base, words := w.CodeRange()
+		f.Addr = base + uint32(rng.Intn(int(words)))*4
+		f.Bit = uint(rng.Intn(32))
+	}
+	return f
+}
+
+// apply injects the fault into a live instance.
+func apply(inst *Instance, f Fault) {
+	switch f.Target {
+	case TargetRegister:
+		inst.Kernel.Proc().FlipRegister(f.Reg, f.Bit)
+	case TargetPC:
+		inst.Kernel.Proc().FlipPC(f.Bit)
+	case TargetSP:
+		inst.Kernel.Proc().FlipRegister(15, f.Bit)
+	case TargetALU:
+		inst.Kernel.Proc().InjectALUFault(f.Mask)
+	case TargetMemoryData, TargetMemoryCode:
+		inst.Kernel.Mem().FlipBit(f.Addr, f.Bit)
+	}
+}
+
+// runTrial executes one injection run and classifies it.
+func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write) (TrialRecord, error) {
+	inst, err := w.New()
+	if err != nil {
+		return TrialRecord{}, err
+	}
+	f := drawFault(w, cfg, rng)
+	rec := TrialRecord{Fault: f}
+	// Decide up front whether this fault lands in kernel execution: the
+	// simulated kernel's logic runs outside the simulated CPU, so its
+	// share of exposure is modelled explicitly (see CampaignConfig).
+	kernelHit := rng.Bool(cfg.KernelShare)
+	kernelDetected := kernelHit && rng.Bool(cfg.KernelDetect)
+	undetectedKernel := false
+
+	inst.Sim.Schedule(f.At, des.PrioInject, func() {
+		if kernelHit || inst.Kernel.Activity() == kernel.ActivityKernel {
+			rec.Kernel = true
+			if kernelDetected || inst.Kernel.Activity() == kernel.ActivityKernel && !kernelHit {
+				inst.Kernel.ForceFailSilent("kernel EDM: assertion after fault")
+			} else {
+				undetectedKernel = true
+			}
+			return
+		}
+		apply(inst, f)
+	})
+	if err := inst.Sim.RunUntil(w.Horizon()); err != nil {
+		return TrialRecord{}, err
+	}
+
+	// Collect mechanism attributions.
+	st := inst.Kernel.Stats()
+	for m, n := range st.ErrorsDetected {
+		if n > 0 {
+			rec.Mechanisms = append(rec.Mechanisms, m)
+		}
+	}
+	if inst.Kernel.Mem().CorrectedErrors > 0 {
+		rec.Mechanisms = append(rec.Mechanisms, "ecc")
+	}
+	sort.Strings(rec.Mechanisms)
+
+	rec.Outcome = classify(inst, golden, undetectedKernel)
+	return rec, nil
+}
+
+// classify maps a finished trial onto the paper's outcome classes.
+func classify(inst *Instance, golden []Write, undetectedKernel bool) Outcome {
+	if undetectedKernel {
+		// A non-covered error in the kernel: §3.2.1 pessimistically
+		// treats these as (potential) system failures.
+		return ValueFailure
+	}
+	if failed, _ := inst.Kernel.Failed(); failed {
+		return FailSilent
+	}
+	writes := inst.Rec.Writes
+	detections := inst.Rec.MaskedReleases > 0 ||
+		inst.Kernel.Mem().CorrectedErrors > 0
+	switch {
+	case equalWrites(writes, golden):
+		if detections {
+			return Masked
+		}
+		if inst.Rec.Omissions > 0 {
+			// All outputs present yet a release omitted: means the last
+			// release settled past the horizon in golden too; treat as
+			// omission conservatively.
+			return Omission
+		}
+		return NotActivated
+	case inst.Rec.Omissions > 0 && isSubsequence(writes, golden):
+		return Omission
+	case isStrictPrefixOrSubsequence(writes, golden):
+		// Missing outputs without a recorded omission event: a recovery
+		// pushed the commit past the horizon. Count as omission (no wrong
+		// value escaped).
+		return Omission
+	default:
+		return ValueFailure
+	}
+}
+
+func equalWrites(a, b []Write) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSubsequence reports whether each element of sub appears, in order,
+// in full.
+func isSubsequence(sub, full []Write) bool {
+	i := 0
+	for _, w := range full {
+		if i < len(sub) && sub[i] == w {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+func isStrictPrefixOrSubsequence(writes, golden []Write) bool {
+	return len(writes) < len(golden) && isSubsequence(writes, golden)
+}

@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestGoldenRunDeterministic(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	g1, err := goldenRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := goldenRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalWrites(g1, g2) {
+		t.Fatal("golden runs differ between builds")
+	}
+	// Releases at 0..8 ms inside the 8.5 ms horizon: nine commits.
+	if len(g1) != 9 {
+		t.Errorf("golden writes = %d, want 9 (one per release)", len(g1))
+	}
+}
+
+func TestSubsequenceHelpers(t *testing.T) {
+	a := []Write{{1, 1}, {1, 2}, {1, 3}}
+	if !isSubsequence([]Write{{1, 1}, {1, 3}}, a) {
+		t.Error("valid subsequence rejected")
+	}
+	if isSubsequence([]Write{{1, 3}, {1, 1}}, a) {
+		t.Error("out-of-order subsequence accepted")
+	}
+	if !isSubsequence(nil, a) {
+		t.Error("empty subsequence rejected")
+	}
+	if isStrictPrefixOrSubsequence(a, a) {
+		t.Error("equal sequence counted as strict")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := Run(nil, CampaignConfig{Trials: 1}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := Run(NewStdWorkload(StdWorkloadConfig{}), CampaignConfig{Trials: -1}); err == nil {
+		t.Error("negative trials accepted")
+	}
+}
+
+// TestCampaignSmall is the core behavioural test: a modest campaign must
+// (a) be deterministic under a fixed seed, (b) classify every trial,
+// (c) show the TEM shape the paper reports — the large majority of
+// detected errors masked, small omission and fail-silent fractions, and
+// high overall coverage.
+func TestCampaignSmall(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	cfg := CampaignConfig{Trials: 300, Seed: 42}
+	res, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("classified %d of 300", total)
+	}
+
+	// Determinism.
+	res2, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Trials {
+		if res.Trials[i].Outcome != res2.Trials[i].Outcome {
+			t.Fatalf("trial %d diverged across identical runs", i)
+		}
+	}
+
+	if res.Activated() == 0 {
+		t.Fatal("no faults activated; injector broken")
+	}
+	if res.CD.P < 0.8 {
+		t.Errorf("C_D = %v, expected high coverage", res.CD)
+	}
+	if res.PT.P < 0.5 {
+		t.Errorf("P_T = %v, TEM should mask the majority of detected errors", res.PT)
+	}
+	if res.PT.P+res.POM.P+res.PFS.P > 1.0+1e-9 {
+		t.Errorf("P_T+P_OM+P_FS = %v > 1", res.PT.P+res.POM.P+res.PFS.P)
+	}
+	// The comparison mechanism must appear among the detectors: silent
+	// data corruptions are exactly what TEM exists to catch.
+	if res.ByMechanism["comparison"] == 0 {
+		t.Error("comparison never detected anything")
+	}
+	s := res.Summary()
+	for _, frag := range []string{"C_D", "P_T", "masked", "trials"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestCampaignKernelShare: with KernelShare forced to 1, every fault hits
+// the kernel; with high detection they become fail-silent failures.
+func TestCampaignKernelShare(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	res, err := Run(w, CampaignConfig{
+		Trials: 40, Seed: 7, KernelShare: 1.0, KernelDetect: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[FailSilent] != 40 {
+		t.Errorf("fail-silent = %d, want 40: %v", res.Counts[FailSilent], res.Counts)
+	}
+	if res.PFS.P != 1 {
+		t.Errorf("P_FS = %v, want 1", res.PFS)
+	}
+}
+
+// TestCampaignECCTargetsMemory: restricting targets to memory-data
+// faults with ECC enabled should yield almost no failures — ECC corrects
+// single-bit errors (Table 1's ECC row).
+func TestCampaignECCTargetsMemory(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	res, err := Run(w, CampaignConfig{
+		Trials:      60,
+		Seed:        3,
+		Targets:     []Target{TargetMemoryData, TargetMemoryCode},
+		KernelShare: 1e-12, // effectively disable kernel hits
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Counts[ValueFailure]; n != 0 {
+		t.Errorf("value failures with ECC = %d", n)
+	}
+	if n := res.Counts[Omission]; n != 0 {
+		t.Errorf("omissions with ECC = %d", n)
+	}
+}
+
+// TestCampaignRegisterFaultsAreMaskedByTEM: register faults during task
+// execution are the paper's canonical TEM-maskable class.
+func TestCampaignRegisterFaultsAreMaskedByTEM(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	res, err := Run(w, CampaignConfig{
+		Trials:      200,
+		Seed:        11,
+		Targets:     []Target{TargetRegister, TargetALU},
+		KernelShare: 1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activated() == 0 {
+		t.Fatal("nothing activated")
+	}
+	if res.CD.P < 0.95 {
+		t.Errorf("C_D for register/ALU faults = %v; TEM comparison should catch these", res.CD)
+	}
+	if res.PT.P < 0.8 {
+		t.Errorf("P_T = %v; register faults should overwhelmingly be masked", res.PT)
+	}
+	if res.Counts[ValueFailure] > res.Config.Trials/20 {
+		t.Errorf("too many value failures: %d", res.Counts[ValueFailure])
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	cases := []Fault{
+		{Target: TargetRegister, Reg: 3, Bit: 5, At: des.Microsecond},
+		{Target: TargetPC, Bit: 1},
+		{Target: TargetALU, Mask: 0x10},
+		{Target: TargetMemoryData, Addr: 0x8000, Bit: 2},
+	}
+	for _, f := range cases {
+		if f.String() == "" || !strings.Contains(f.String(), f.Target.String()) {
+			t.Errorf("String() = %q", f.String())
+		}
+	}
+	for _, target := range AllTargets() {
+		if target.String() == "" {
+			t.Error("unnamed target")
+		}
+	}
+	for _, o := range []Outcome{NotActivated, Masked, Omission, FailSilent, ValueFailure} {
+		if o.String() == "" {
+			t.Error("unnamed outcome")
+		}
+	}
+}
+
+func BenchmarkCampaignTrial(b *testing.B) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	golden, err := goldenRun(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := des.NewRand(1)
+	cfg := CampaignConfig{Trials: 1}
+	cfg.applyDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runTrial(w, cfg, rng, golden); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

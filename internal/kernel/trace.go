@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// EventKind labels trace records.
+type EventKind int
+
+// Trace event kinds.
+const (
+	TraceRelease EventKind = iota + 1
+	TraceCopyStart
+	TraceCopyEnd
+	TracePreempt
+	TraceResume
+	TraceErrorDetected
+	TraceCompareMatch
+	TraceCompareMismatch
+	TraceVote
+	TraceCommit
+	TraceOmission
+	TraceTaskShutdown
+	TraceNodeFailSilent
+	TraceStateCRCError
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case TraceRelease:
+		return "release"
+	case TraceCopyStart:
+		return "copy-start"
+	case TraceCopyEnd:
+		return "copy-end"
+	case TracePreempt:
+		return "preempt"
+	case TraceResume:
+		return "resume"
+	case TraceErrorDetected:
+		return "error-detected"
+	case TraceCompareMatch:
+		return "compare-match"
+	case TraceCompareMismatch:
+		return "compare-mismatch"
+	case TraceVote:
+		return "vote"
+	case TraceCommit:
+		return "commit"
+	case TraceOmission:
+		return "omission"
+	case TraceTaskShutdown:
+		return "task-shutdown"
+	case TraceNodeFailSilent:
+		return "node-fail-silent"
+	case TraceStateCRCError:
+		return "state-crc-error"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// TraceEvent is one kernel trace record.
+type TraceEvent struct {
+	At     des.Time
+	Kind   EventKind
+	Task   string
+	Copy   int    // copy index, when applicable
+	Detail string // mechanism name, vote verdict, etc.
+}
+
+// String renders the record.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("[%12v] %-17s %s", e.At, e.Kind, e.Task)
+	if e.Copy > 0 {
+		s += fmt.Sprintf(" copy=%d", e.Copy)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Trace collects kernel events, optionally bounded.
+type Trace struct {
+	Events []TraceEvent
+	// Limit caps the number of stored events (0 = unlimited). Beyond the
+	// limit new events are dropped and Dropped counts them.
+	Limit   int
+	Dropped uint64
+}
+
+func (t *Trace) add(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	if t.Limit > 0 && len(t.Events) >= t.Limit {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Filter returns the events of the given kinds, preserving order.
+func (t *Trace) Filter(kinds ...EventKind) []TraceEvent {
+	want := make(map[EventKind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []TraceEvent
+	for _, e := range t.Events {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForTask returns the events touching the named task.
+func (t *Trace) ForTask(name string) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.Events {
+		if e.Task == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/ttnet"
+)
+
+// HostedConfig wires a full kernel-bearing node to the time-triggered
+// network.
+type HostedConfig struct {
+	// Name identifies the node (and its bus endpoint).
+	Name string
+	// BuildKernel constructs the node's kernel on the shared simulator.
+	// It is called at start and again after every restart, modelling the
+	// node reset plus diagnostic of §3.2.1.
+	BuildKernel func(sim *des.Simulator, env kernel.Env) (*kernel.Kernel, error)
+	// Slot is the node's static TDMA slot.
+	Slot int
+	// TxPorts lists the kernel output ports transmitted in the node's
+	// slot, in payload order.
+	TxPorts []uint32
+	// RxMap routes received frames into kernel input ports: for a frame
+	// from sender S, payload word i is delivered to port RxMap[S][i].
+	// Use RxIgnore to skip a payload word; words beyond the slice are
+	// ignored.
+	RxMap map[ttnet.NodeID][]uint32
+	// RestartDelay is the time from fail-silence to reintegration
+	// (the paper's 3 s: 1.6 s restart + 1.4 s diagnostic).
+	RestartDelay des.Time
+	// RxMaxAge, when positive, expires received values: an input port
+	// whose last valid frame is older than this reads as zero. This is
+	// the end-to-end freshness check of §2.6 — without it a node would
+	// keep acting on stale data from a silent sender. Zero keeps values
+	// forever (the paper's "use a previous value" option for omissions).
+	RxMaxAge des.Time
+	// MaxRestarts bounds automatic restarts (0 = unlimited). After the
+	// limit the node stays down (suspected permanent fault).
+	MaxRestarts int
+}
+
+// HostedNode is a kernel plus network interface on the shared simulator.
+type HostedNode struct {
+	cfg HostedConfig
+	sim *des.Simulator
+	k   *kernel.Kernel
+	ep  *ttnet.Endpoint
+	// rx holds the last valid value per input port; rxAt its arrival
+	// time (for the freshness check).
+	rx   map[uint32]uint32
+	rxAt map[uint32]des.Time
+	// tx holds the latest committed value per output port.
+	tx map[uint32]uint32
+	// down reports the node is currently silent.
+	down     bool
+	restarts int
+	// holdingRestart is set while a restarted kernel waits for external
+	// completion (e.g. partner-state recovery) before resuming.
+	holdingRestart bool
+	// Restarts counts completed restarts; Failures counts fail-silent
+	// events.
+	Failures uint64
+	// OnStateChange observes up/down transitions.
+	OnStateChange func(name string, down bool, at des.Time)
+	// OnRestart, when set, runs after the kernel is rebuilt but before
+	// the node resumes transmission. Returning true holds the node
+	// silent until CompleteRestart is called — the hook used by the
+	// duplex state-recovery protocol (the paper's §4 future work).
+	OnRestart func(h *HostedNode) (hold bool)
+	// ExtraOnFrame, when set, observes every bus frame in addition to
+	// the RxMap routing (protocol extensions live here).
+	ExtraOnFrame func(f ttnet.Frame)
+}
+
+// NewHosted attaches a hosted node to the bus and starts its kernel.
+func NewHosted(sim *des.Simulator, bus *ttnet.Bus, cfg HostedConfig) (*HostedNode, error) {
+	if cfg.Name == "" || cfg.BuildKernel == nil {
+		return nil, fmt.Errorf("node: hosted config incomplete")
+	}
+	if cfg.RestartDelay <= 0 {
+		cfg.RestartDelay = 3 * des.Second
+	}
+	h := &HostedNode{
+		cfg:  cfg,
+		sim:  sim,
+		rx:   make(map[uint32]uint32),
+		rxAt: make(map[uint32]des.Time),
+		tx:   make(map[uint32]uint32),
+	}
+	ep, err := bus.Attach(ttnet.NodeID(cfg.Name), h.provide, h.onFrame, nil)
+	if err != nil {
+		return nil, err
+	}
+	h.ep = ep
+	if err := bus.AssignSlot(cfg.Slot, ttnet.NodeID(cfg.Name)); err != nil {
+		return nil, err
+	}
+	if err := h.buildAndStart(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Kernel exposes the current kernel instance (changes after restarts).
+func (h *HostedNode) Kernel() *kernel.Kernel { return h.k }
+
+// Down reports whether the node is currently silent.
+func (h *HostedNode) Down() bool { return h.down }
+
+// buildAndStart constructs a fresh kernel via the factory.
+func (h *HostedNode) buildAndStart() error {
+	k, err := h.cfg.BuildKernel(h.sim, h)
+	if err != nil {
+		return fmt.Errorf("node %s: %w", h.cfg.Name, err)
+	}
+	k.OnFailSilent = func(at des.Time, reason string) { h.failSilent() }
+	h.k = k
+	return k.Start()
+}
+
+// failSilent silences the endpoint and schedules the restart.
+func (h *HostedNode) failSilent() {
+	if h.down {
+		return
+	}
+	h.down = true
+	h.Failures++
+	h.ep.Silence()
+	if h.OnStateChange != nil {
+		h.OnStateChange(h.cfg.Name, true, h.sim.Now())
+	}
+	if h.cfg.MaxRestarts > 0 && h.restarts >= h.cfg.MaxRestarts {
+		return // stays down: permanent suspicion confirmed
+	}
+	h.restarts++
+	h.sim.Schedule(h.sim.Now()+h.cfg.RestartDelay, des.PrioKernel, h.restart)
+}
+
+// restart rebuilds the kernel and resumes transmission (reintegration).
+// When an OnRestart hook holds the restart (state recovery in flight),
+// the kernel is built but not started: its memory can be prepared with
+// recovered state before any task runs.
+func (h *HostedNode) restart() {
+	k, err := h.cfg.BuildKernel(h.sim, h)
+	if err != nil {
+		// A broken factory cannot be recovered at runtime; stay down.
+		return
+	}
+	k.OnFailSilent = func(at des.Time, reason string) { h.failSilent() }
+	h.k = k
+	if h.OnRestart != nil && h.OnRestart(h) {
+		h.holdingRestart = true
+		return // CompleteRestart finishes the reintegration
+	}
+	h.completeRestart()
+}
+
+// CompleteRestart resumes a node whose OnRestart hook held it silent.
+// Calling it when no restart is held is a no-op.
+func (h *HostedNode) CompleteRestart() {
+	if !h.holdingRestart {
+		return
+	}
+	h.holdingRestart = false
+	h.completeRestart()
+}
+
+func (h *HostedNode) completeRestart() {
+	if err := h.k.Start(); err != nil {
+		return // stays down; factory produced an unstartable kernel
+	}
+	h.down = false
+	h.ep.Resume()
+	if h.OnStateChange != nil {
+		h.OnStateChange(h.cfg.Name, false, h.sim.Now())
+	}
+}
+
+// Endpoint exposes the node's bus attachment (protocol extensions).
+func (h *HostedNode) Endpoint() *ttnet.Endpoint { return h.ep }
+
+// Sim exposes the shared simulator.
+func (h *HostedNode) Sim() *des.Simulator { return h.sim }
+
+// Name reports the node's name.
+func (h *HostedNode) Name() string { return h.cfg.Name }
+
+// provide implements the endpoint's slot callback: transmit the latest
+// committed outputs.
+func (h *HostedNode) provide(cycle uint64, slot int) []uint32 {
+	if h.down {
+		return nil
+	}
+	payload := make([]uint32, len(h.cfg.TxPorts))
+	for i, p := range h.cfg.TxPorts {
+		payload[i] = h.tx[p]
+	}
+	return payload
+}
+
+// onFrame routes valid frames into the receive buffers.
+func (h *HostedNode) onFrame(f ttnet.Frame) {
+	if !f.Valid {
+		return
+	}
+	if h.ExtraOnFrame != nil {
+		h.ExtraOnFrame(f)
+	}
+	ports, ok := h.cfg.RxMap[f.Sender]
+	if !ok {
+		return
+	}
+	for i, p := range ports {
+		if p != RxIgnore && i < len(f.Payload) {
+			h.rx[p] = f.Payload[i]
+			h.rxAt[p] = h.sim.Now()
+		}
+	}
+}
+
+// RxIgnore marks a payload word as not routed to any input port.
+const RxIgnore = ^uint32(0)
+
+// ReadInput implements kernel.Env from the receive buffers, applying
+// the freshness check when configured.
+func (h *HostedNode) ReadInput(port uint32) uint32 {
+	if h.cfg.RxMaxAge > 0 {
+		at, ok := h.rxAt[port]
+		if ok && h.sim.Now()-at > h.cfg.RxMaxAge {
+			return 0 // stale: fail safe instead of acting on old data
+		}
+	}
+	return h.rx[port]
+}
+
+// WriteOutput implements kernel.Env into the transmit buffers.
+func (h *HostedNode) WriteOutput(port, value uint32) { h.tx[port] = value }
+
+// SetLocalInput lets application code (sensors attached directly to the
+// node) drive an input port. Local sensors count as fresh.
+func (h *HostedNode) SetLocalInput(port, value uint32) {
+	h.rx[port] = value
+	h.rxAt[port] = h.sim.Now()
+}
+
+// LocalOutput reads a committed output port (actuators attached directly
+// to the node).
+func (h *HostedNode) LocalOutput(port uint32) uint32 { return h.tx[port] }
+
+var _ kernel.Env = (*HostedNode)(nil)

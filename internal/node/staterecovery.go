@@ -1,0 +1,150 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ttnet"
+)
+
+// This file implements the paper's §4 future-work item: "how to maintain
+// consistency in replicated nodes in case of omission failures … the
+// study of protocols such as FlexRay that may facilitate fast recovery
+// of state data with low communication overhead through special requests
+// to the partner node in the event-triggered part of the protocol".
+//
+// StateSync couples the two nodes of a duplex configuration. When one of
+// them restarts after a fail-silent failure, it stays silent while a
+// state request travels to the partner in the dynamic (event-triggered)
+// segment; the partner answers with its committed task state, also in
+// the dynamic segment; the requester installs the state and only then
+// reintegrates — so the replicas stay consistent instead of the
+// restarted node rejoining with cold state.
+
+// Magic words marking state-recovery frames in the dynamic segment.
+const (
+	stateReqMagic = 0x53524551 // "SREQ"
+	stateRspMagic = 0x53525350 // "SRSP"
+)
+
+// StateSyncConfig parameterizes a duplex state-recovery pair.
+type StateSyncConfig struct {
+	// DataStart/DataWords locate the replicated task state in each
+	// node's kernel memory.
+	DataStart uint32
+	DataWords uint32
+	// Priority is the dynamic-segment priority of recovery messages
+	// (high, per the paper: recovery must be fast).
+	Priority int
+	// Timeout bounds how long a restarting node waits for the partner's
+	// state before resuming cold. Default: 4 communication cycles'
+	// worth, passed in by the caller as an absolute duration.
+	Timeout des.Time
+}
+
+// StateSync is the duplex state-recovery protocol instance.
+type StateSync struct {
+	cfg   StateSyncConfig
+	nodes [2]*HostedNode
+	// pendingTimeout is the cold-resume fallback for an in-flight
+	// recovery, per node index.
+	pendingTimeout [2]*des.Event
+	// Recoveries counts completed warm recoveries; ColdResumes counts
+	// timeouts that forced a cold reintegration.
+	Recoveries  uint64
+	ColdResumes uint64
+}
+
+// NewStateSync couples two hosted nodes (a duplex configuration) for
+// state recovery. Both nodes must share one bus and simulator, and the
+// bus must have a dynamic segment (ttnet.Config.DynamicLen > 0) for the
+// event-triggered messages to travel in.
+func NewStateSync(a, b *HostedNode, cfg StateSyncConfig) (*StateSync, error) {
+	if a == nil || b == nil || a == b {
+		return nil, fmt.Errorf("node: state sync needs two distinct nodes")
+	}
+	if cfg.DataWords == 0 {
+		return nil, fmt.Errorf("node: state sync with no state words")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 100 * des.Millisecond
+	}
+	s := &StateSync{cfg: cfg, nodes: [2]*HostedNode{a, b}}
+	for i := range s.nodes {
+		i := i
+		n := s.nodes[i]
+		if n.OnRestart != nil || n.ExtraOnFrame != nil {
+			return nil, fmt.Errorf("node: %s already has protocol hooks", n.Name())
+		}
+		n.OnRestart = func(h *HostedNode) bool { return s.onRestart(i) }
+		n.ExtraOnFrame = func(f ttnet.Frame) { s.onFrame(i, f) }
+	}
+	return s, nil
+}
+
+// onRestart fires when node idx rebuilt its kernel: request the
+// partner's state and hold reintegration.
+func (s *StateSync) onRestart(idx int) bool {
+	partner := s.nodes[1-idx]
+	if partner.Down() {
+		// No live partner: resume cold immediately.
+		s.ColdResumes++
+		return false
+	}
+	me := s.nodes[idx]
+	// Reintegration traffic travels in the event-triggered segment while
+	// the node's static slots stay silent (FlexRay-style, §4).
+	me.Endpoint().SetDynamicWhileSilent(true)
+	me.Endpoint().SendDynamic(s.cfg.Priority, []uint32{stateReqMagic, uint32(idx)})
+	// Fallback: resume cold if the reply never arrives.
+	s.pendingTimeout[idx] = me.Sim().Schedule(
+		me.Sim().Now()+s.cfg.Timeout, des.PrioKernel, func() {
+			s.pendingTimeout[idx] = nil
+			s.ColdResumes++
+			me.Endpoint().SetDynamicWhileSilent(false)
+			me.CompleteRestart()
+		})
+	return true
+}
+
+// onFrame handles protocol frames seen by node idx.
+func (s *StateSync) onFrame(idx int, f ttnet.Frame) {
+	if f.Slot != -1 || len(f.Payload) < 2 {
+		return // only dynamic-segment frames carry the protocol
+	}
+	me := s.nodes[idx]
+	switch f.Payload[0] {
+	case stateReqMagic:
+		// Partner asks for state; only the non-requesting, live node
+		// replies.
+		requester := int(f.Payload[1])
+		if requester == idx || me.Down() {
+			return
+		}
+		payload := make([]uint32, 0, 2+s.cfg.DataWords)
+		payload = append(payload, stateRspMagic, uint32(requester))
+		for w := uint32(0); w < s.cfg.DataWords; w++ {
+			payload = append(payload, me.Kernel().Mem().Peek(s.cfg.DataStart+w*4))
+		}
+		me.Endpoint().SendDynamic(s.cfg.Priority, payload)
+	case stateRspMagic:
+		// A reply addressed to this node while it is holding its
+		// restart: install the state and reintegrate.
+		if int(f.Payload[1]) != idx || !me.holdingRestart {
+			return
+		}
+		if uint32(len(f.Payload)) < 2+s.cfg.DataWords {
+			return // malformed; wait for timeout
+		}
+		for w := uint32(0); w < s.cfg.DataWords; w++ {
+			me.Kernel().Mem().Poke(s.cfg.DataStart+w*4, f.Payload[2+w])
+		}
+		if ev := s.pendingTimeout[idx]; ev != nil {
+			me.Sim().Cancel(ev)
+			s.pendingTimeout[idx] = nil
+		}
+		s.Recoveries++
+		me.Endpoint().SetDynamicWhileSilent(false)
+		me.CompleteRestart()
+	}
+}

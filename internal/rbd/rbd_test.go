@@ -1,0 +1,255 @@
+package rbd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func constBlock(r float64) *Basic {
+	return &Basic{Name: "const", Fn: func(float64) float64 { return r }}
+}
+
+func TestExponentialLeaf(t *testing.T) {
+	b := Exponential("node", 0.5)
+	if got := b.Reliability(0); got != 1 {
+		t.Errorf("R(0) = %v", got)
+	}
+	want := math.Exp(-0.5 * 2)
+	if got := b.Reliability(2); math.Abs(got-want) > 1e-15 {
+		t.Errorf("R(2) = %v, want %v", got, want)
+	}
+	if b.Describe() != "node" {
+		t.Errorf("Describe = %q", b.Describe())
+	}
+}
+
+func TestExponentialNegativeRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative rate did not panic")
+		}
+	}()
+	Exponential("bad", -1)
+}
+
+func TestBasicClamps(t *testing.T) {
+	b := &Basic{Name: "wild", Fn: func(float64) float64 { return 1.5 }}
+	if got := b.Reliability(1); got != 1 {
+		t.Errorf("clamped high = %v", got)
+	}
+	b.Fn = func(float64) float64 { return -0.5 }
+	if got := b.Reliability(1); got != 0 {
+		t.Errorf("clamped low = %v", got)
+	}
+}
+
+func TestSeriesProduct(t *testing.T) {
+	s := NewSeries(constBlock(0.9), constBlock(0.8), constBlock(0.5))
+	if got := s.Reliability(1); math.Abs(got-0.36) > 1e-15 {
+		t.Errorf("series = %v, want 0.36", got)
+	}
+}
+
+func TestSeriesOfExponentialsAddsRates(t *testing.T) {
+	// Series of exponentials is an exponential with summed rate — this is
+	// exactly the paper's Figure 8 (four FS wheel nodes in series).
+	rate := 2.002e-4 // λ_P + λ_T
+	s := NewSeries(
+		Exponential("WN1", rate), Exponential("WN2", rate),
+		Exponential("WN3", rate), Exponential("WN4", rate),
+	)
+	for _, h := range []float64{0, 100, 8760} {
+		want := math.Exp(-4 * rate * h)
+		if got := s.Reliability(h); math.Abs(got-want) > 1e-12 {
+			t.Errorf("R(%v) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestParallel(t *testing.T) {
+	p := NewParallel(constBlock(0.9), constBlock(0.8))
+	want := 1 - 0.1*0.2
+	if got := p.Reliability(1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("parallel = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyGroupsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"series":   func() { NewSeries() },
+		"parallel": func() { NewParallel() },
+		"kofn":     func() { NewKOfN(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: empty group did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKOfNBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k > n did not panic")
+		}
+	}()
+	NewKOfN(3, constBlock(1), constBlock(1))
+}
+
+func TestKOfNHomogeneousMatchesBinomial(t *testing.T) {
+	r := 0.9
+	k := NewKOfN(3, constBlock(r), constBlock(r), constBlock(r), constBlock(r))
+	// 3-of-4: C(4,3) r³(1−r) + r⁴
+	want := 4*math.Pow(r, 3)*(1-r) + math.Pow(r, 4)
+	if got := k.Reliability(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("3-of-4 = %v, want %v", got, want)
+	}
+}
+
+func TestKOfNDegenerateCases(t *testing.T) {
+	blocks := []Block{constBlock(0.7), constBlock(0.6), constBlock(0.5)}
+	// 1-of-n equals parallel.
+	oneOf := NewKOfN(1, blocks...)
+	par := NewParallel(blocks...)
+	if math.Abs(oneOf.Reliability(1)-par.Reliability(1)) > 1e-12 {
+		t.Error("1-of-n != parallel")
+	}
+	// n-of-n equals series.
+	allOf := NewKOfN(3, blocks...)
+	ser := NewSeries(blocks...)
+	if math.Abs(allOf.Reliability(1)-ser.Reliability(1)) > 1e-12 {
+		t.Error("n-of-n != series")
+	}
+}
+
+func TestKOfNHeterogeneous(t *testing.T) {
+	// 2-of-3 with distinct reliabilities, enumerated by hand:
+	a, b, c := 0.9, 0.8, 0.7
+	k := NewKOfN(2, constBlock(a), constBlock(b), constBlock(c))
+	want := a*b*c + a*b*(1-c) + a*(1-b)*c + (1-a)*b*c
+	if got := k.Reliability(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("2-of-3 = %v, want %v", got, want)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := NewSeries(Exponential("a", 1), NewParallel(Exponential("b", 1), Exponential("c", 1)))
+	d := s.Describe()
+	for _, frag := range []string{"series(", "parallel(", "a", "b", "c"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Describe %q missing %q", d, frag)
+		}
+	}
+	k := NewKOfN(2, Exponential("x", 1), Exponential("y", 1), Exponential("z", 1))
+	if !strings.Contains(k.Describe(), "2-of-3") {
+		t.Errorf("KOfN Describe = %q", k.Describe())
+	}
+}
+
+func TestMTTFExponential(t *testing.T) {
+	// MTTF of an exponential with rate λ is 1/λ.
+	rate := 1.0 / 500
+	got := MTTF(Exponential("n", rate), 500)
+	if math.Abs(got-500)/500 > 1e-6 {
+		t.Errorf("MTTF = %v, want 500", got)
+	}
+	// Robust to a poor hint.
+	got = MTTF(Exponential("n", rate), 10)
+	if math.Abs(got-500)/500 > 1e-6 {
+		t.Errorf("MTTF with poor hint = %v, want 500", got)
+	}
+	// Non-positive hint falls back to a default scale.
+	got = MTTF(Exponential("n", 1.0/1000), 0)
+	if math.Abs(got-1000)/1000 > 1e-6 {
+		t.Errorf("MTTF with zero hint = %v, want 1000", got)
+	}
+}
+
+func TestMTTFSeries(t *testing.T) {
+	// Series of exponentials: MTTF = 1/Σλ.
+	s := NewSeries(Exponential("a", 0.001), Exponential("b", 0.003))
+	want := 1.0 / 0.004
+	if got := MTTF(s, want); math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("MTTF = %v, want %v", got, want)
+	}
+}
+
+func TestMTTFParallelTwoIdentical(t *testing.T) {
+	// Two identical exponentials in parallel: MTTF = 3/(2λ).
+	lambda := 0.002
+	p := NewParallel(Exponential("a", lambda), Exponential("b", lambda))
+	want := 3 / (2 * lambda)
+	if got := MTTF(p, want); math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("MTTF = %v, want %v", got, want)
+	}
+}
+
+func TestReliabilityMonotonicityProperty(t *testing.T) {
+	// Property: any composition of exponential leaves is non-increasing in
+	// time and stays within [0, 1].
+	check := func(rates []uint16, seed uint8) bool {
+		if len(rates) == 0 {
+			return true
+		}
+		if len(rates) > 6 {
+			rates = rates[:6]
+		}
+		blocks := make([]Block, len(rates))
+		for i, r := range rates {
+			blocks[i] = Exponential("x", float64(r)/1e4)
+		}
+		var b Block
+		switch seed % 3 {
+		case 0:
+			b = NewSeries(blocks...)
+		case 1:
+			b = NewParallel(blocks...)
+		default:
+			b = NewKOfN(1+int(seed)%len(blocks), blocks...)
+		}
+		prev := 1.0
+		for _, h := range []float64{0, 1, 10, 100, 1000, 10000} {
+			r := b.Reliability(h)
+			if r < 0 || r > 1 || r > prev+1e-12 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedundancyHelpsProperty(t *testing.T) {
+	// Property: parallel of two copies is at least as reliable as one copy.
+	check := func(rateRaw uint16, hRaw uint16) bool {
+		rate := float64(rateRaw+1) / 1e5
+		h := float64(hRaw) / 10
+		single := Exponential("n", rate)
+		dup := NewParallel(Exponential("n", rate), Exponential("n", rate))
+		return dup.Reliability(h) >= single.Reliability(h)-1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKOfNReliability(b *testing.B) {
+	blocks := make([]Block, 16)
+	for i := range blocks {
+		blocks[i] = Exponential("n", float64(i+1)/1e5)
+	}
+	k := NewKOfN(12, blocks...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = k.Reliability(1000)
+	}
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestParseTaskSet(t *testing.T) {
+	src := `
+# brake-by-wire node
+task brake 1ms 10ms 10ms 10
+task slip  1ms 20ms           # D defaults to T
+task diag  2ms 100ms 80ms
+`
+	tasks, err := ParseTaskSet(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[0].Name != "brake" || tasks[0].C != des.Millisecond ||
+		tasks[0].T != 10*des.Millisecond || tasks[0].Criticality != 10 {
+		t.Errorf("brake = %+v", tasks[0])
+	}
+	if tasks[1].D != tasks[1].T {
+		t.Errorf("slip D = %v, want T", tasks[1].D)
+	}
+	if tasks[2].D != 80*des.Millisecond || tasks[2].Criticality != 0 {
+		t.Errorf("diag = %+v", tasks[2])
+	}
+}
+
+func TestParseTaskSetErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad keyword":     "job x 1ms 2ms",
+		"too few fields":  "task x 1ms",
+		"too many fields": "task x 1ms 2ms 2ms 1 extra",
+		"bad C":           "task x zz 2ms",
+		"bad T":           "task x 1ms zz",
+		"bad D":           "task x 1ms 2ms zz",
+		"bad criticality": "task x 1ms 2ms 2ms high",
+		"C > D":           "task x 3ms 2ms",
+		"duplicate":       "task x 1ms 2ms\ntask x 1ms 2ms",
+		"empty":           "# nothing here",
+	}
+	for name, src := range cases {
+		if _, err := ParseTaskSet(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parsed %q without error", name, src)
+		}
+	}
+}
+
+func TestParseTaskSetRoundTripAnalysis(t *testing.T) {
+	src := "task a 1ms 10ms 10ms 5\ntask b 2ms 20ms 20ms 3\n"
+	tasks, err := ParseTaskSet(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := AssignByCriticality(tasks)
+	rs, err := Analyze(assigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Schedulable(rs) {
+		t.Error("trivial parsed set not schedulable")
+	}
+}

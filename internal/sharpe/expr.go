@@ -1,0 +1,290 @@
+package sharpe
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Env maps variable names to values for expression evaluation.
+type Env map[string]float64
+
+// EvalExpr evaluates an arithmetic expression with +, -, *, /, ^ (power),
+// parentheses, unary minus, numeric literals (including scientific
+// notation), variables from env, and the functions exp, ln, log10, sqrt,
+// pow(a,b), min(a,b), max(a,b). It is the expression dialect of the
+// SHARPE-like input language.
+func EvalExpr(src string, env Env) (float64, error) {
+	p := &exprParser{src: src, env: env}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("sharpe: trailing input %q in expression %q", p.src[p.pos:], src)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+	env Env
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// parseExpr handles + and - (lowest precedence).
+func (p *exprParser) parseExpr() (float64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+// parseTerm handles * and /.
+func (p *exprParser) parseTerm() (float64, error) {
+	v, err := p.parsePower()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.parsePower()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parsePower()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("sharpe: division by zero in %q", p.src)
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+// parsePower handles ^ (right-associative).
+func (p *exprParser) parsePower() (float64, error) {
+	base, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.peek() == '^' {
+		p.pos++
+		exp, err := p.parsePower()
+		if err != nil {
+			return 0, err
+		}
+		return math.Pow(base, exp), nil
+	}
+	return base, nil
+}
+
+func (p *exprParser) parseUnary() (float64, error) {
+	p.skipSpace()
+	switch p.peek() {
+	case '-':
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	case '+':
+		p.pos++
+		return p.parseUnary()
+	}
+	return p.parseAtom()
+}
+
+func (p *exprParser) parseAtom() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("sharpe: unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("sharpe: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumber()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		return p.parseIdent()
+	default:
+		return 0, fmt.Errorf("sharpe: unexpected character %q in %q", c, p.src)
+	}
+}
+
+func (p *exprParser) parseNumber() (float64, error) {
+	start := p.pos
+	seenExp := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9' || c == '.':
+			p.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			p.pos++
+			if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lit := p.src[start:p.pos]
+	v, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sharpe: bad number %q in %q", lit, p.src)
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseIdent() (float64, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	name := p.src[start:p.pos]
+	p.skipSpace()
+	if p.peek() == '(' {
+		return p.parseCall(name)
+	}
+	v, ok := p.env[name]
+	if !ok {
+		return 0, fmt.Errorf("sharpe: undefined variable %q in %q", name, p.src)
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseCall(name string) (float64, error) {
+	p.pos++ // consume '('
+	var args []float64
+	p.skipSpace()
+	if p.peek() != ')' {
+		for {
+			v, err := p.parseExpr()
+			if err != nil {
+				return 0, err
+			}
+			args = append(args, v)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if p.peek() != ')' {
+		return 0, fmt.Errorf("sharpe: missing ')' after %s(...) in %q", name, p.src)
+	}
+	p.pos++
+	want1 := func() (float64, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("sharpe: %s expects 1 argument, got %d", name, len(args))
+		}
+		return args[0], nil
+	}
+	want2 := func() (float64, float64, error) {
+		if len(args) != 2 {
+			return 0, 0, fmt.Errorf("sharpe: %s expects 2 arguments, got %d", name, len(args))
+		}
+		return args[0], args[1], nil
+	}
+	switch strings.ToLower(name) {
+	case "exp":
+		a, err := want1()
+		return math.Exp(a), err
+	case "ln":
+		a, err := want1()
+		if err == nil && a <= 0 {
+			return 0, fmt.Errorf("sharpe: ln of non-positive %v", a)
+		}
+		return math.Log(a), err
+	case "log10":
+		a, err := want1()
+		if err == nil && a <= 0 {
+			return 0, fmt.Errorf("sharpe: log10 of non-positive %v", a)
+		}
+		return math.Log10(a), err
+	case "sqrt":
+		a, err := want1()
+		if err == nil && a < 0 {
+			return 0, fmt.Errorf("sharpe: sqrt of negative %v", a)
+		}
+		return math.Sqrt(a), err
+	case "pow":
+		a, b, err := want2()
+		return math.Pow(a, b), err
+	case "min":
+		a, b, err := want2()
+		return math.Min(a, b), err
+	case "max":
+		a, b, err := want2()
+		return math.Max(a, b), err
+	default:
+		return 0, fmt.Errorf("sharpe: unknown function %q", name)
+	}
+}

@@ -1,0 +1,41 @@
+package sharpe
+
+import "testing"
+
+// FuzzParse exercises the SHARPE-language parser with arbitrary text:
+// reject or accept, never panic; accepted systems must evaluate without
+// panicking either.
+func FuzzParse(f *testing.F) {
+	f.Add("var x 1+2\nrbd r\n exp a x*1e-3\n top a\nend\neval r mttf")
+	f.Add("markov m\n trans 0 F 1e-4\n init 0\n fail F\nend")
+	f.Add("ftree f\n const a 0.5\n const b 0.5\n and g a b\n top g\nend")
+	f.Add("* comment\n# comment")
+	f.Add("eval nosuch mttf")
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		for _, name := range res.System.Names() {
+			m, err := res.System.Model(name)
+			if err != nil {
+				t.Fatalf("registered model %q not found", name)
+			}
+			if _, err := m.Reliability(100); err != nil {
+				continue // evaluation errors are fine; panics are not
+			}
+		}
+	})
+}
+
+// FuzzEvalExpr exercises the expression evaluator.
+func FuzzEvalExpr(f *testing.F) {
+	f.Add("1+2*3")
+	f.Add("exp(-(lp+lt)*8760)")
+	f.Add("pow(2, min(3, 4))")
+	f.Add("((((1))))")
+	f.Add("-x^2")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = EvalExpr(src, Env{"lp": 1e-5, "lt": 1e-4, "x": 2})
+	})
+}

@@ -1,0 +1,509 @@
+package sharpe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/faulttree"
+	"repro/internal/markov"
+	"repro/internal/rbd"
+)
+
+// The input language is line-oriented, in the spirit of SHARPE's own
+// format. `*` or `#` start comments. Sections:
+//
+//	var NAME EXPR
+//
+//	markov NAME
+//	  trans FROM TO EXPR
+//	  init STATE
+//	  fail STATE...
+//	end
+//
+//	rbd NAME
+//	  exp BLOCK EXPR          (exponential leaf, rate/hour)
+//	  model BLOCK SUBMODEL    (leaf bound to another model's reliability)
+//	  series GROUP CHILD...
+//	  parallel GROUP CHILD...
+//	  kofn GROUP K CHILD...
+//	  top NODE
+//	end
+//
+//	ftree NAME
+//	  exp EVENT EXPR
+//	  const EVENT EXPR
+//	  model EVENT SUBMODEL
+//	  and GATE CHILD...
+//	  or GATE CHILD...
+//	  kofn GATE K CHILD...
+//	  top GATE
+//	end
+//
+//	eval NAME reliability HOURS
+//	eval NAME curve HOURS STEPS
+//	eval NAME mttf
+//
+// Sub-models must be defined before they are referenced.
+
+// EvalKind discriminates evaluation requests in a model file.
+type EvalKind int
+
+// Evaluation request kinds.
+const (
+	EvalReliability EvalKind = iota + 1
+	EvalCurve
+	EvalMTTF
+)
+
+// EvalRequest is one `eval` line of a model file.
+type EvalRequest struct {
+	Model string
+	Kind  EvalKind
+	Hours float64
+	Steps int
+}
+
+// ParseResult carries the system and the evaluation requests of a file.
+type ParseResult struct {
+	System *System
+	Evals  []EvalRequest
+	Vars   Env
+}
+
+type parser struct {
+	sys       *System
+	env       Env
+	overrides Env
+	evals     []EvalRequest
+	line      int
+}
+
+// Parse reads a model file in the SHARPE-like input language.
+func Parse(r io.Reader) (*ParseResult, error) {
+	return ParseWithVars(r, nil)
+}
+
+// ParseWithVars parses a model file with variable overrides: a `var`
+// line whose name appears in overrides keeps the override value instead
+// of evaluating its expression. This is how parameter sweeps re-evaluate
+// one model source over a range (cmd/sharpe's -vary flag).
+func ParseWithVars(r io.Reader, overrides Env) (*ParseResult, error) {
+	p := &parser{sys: NewSystem(), env: Env{}, overrides: overrides}
+	for name, v := range overrides {
+		p.env[name] = v
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var block []string
+	var blockHead []string
+	for sc.Scan() {
+		p.line++
+		fields, err := p.splitLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		if blockHead != nil {
+			if fields[0] == "end" {
+				if err := p.finishBlock(blockHead, block); err != nil {
+					return nil, err
+				}
+				blockHead, block = nil, nil
+				continue
+			}
+			block = append(block, strings.Join(fields, " "))
+			continue
+		}
+		switch fields[0] {
+		case "var":
+			if len(fields) < 3 {
+				return nil, p.errf("var needs a name and an expression")
+			}
+			if _, overridden := p.overrides[fields[1]]; overridden {
+				continue // swept variable: keep the injected value
+			}
+			v, err := EvalExpr(strings.Join(fields[2:], " "), p.env)
+			if err != nil {
+				return nil, p.wrap(err)
+			}
+			p.env[fields[1]] = v
+		case "markov", "rbd", "ftree":
+			if len(fields) != 2 {
+				return nil, p.errf("%s needs exactly a name", fields[0])
+			}
+			blockHead = fields
+		case "eval":
+			if err := p.parseEval(fields); err != nil {
+				return nil, err
+			}
+		case "end":
+			return nil, p.errf("end outside a block")
+		default:
+			return nil, p.errf("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sharpe: read: %w", err)
+	}
+	if blockHead != nil {
+		return nil, fmt.Errorf("sharpe: unterminated %s block %q", blockHead[0], blockHead[1])
+	}
+	return &ParseResult{System: p.sys, Evals: p.evals, Vars: p.env}, nil
+}
+
+// ParseString parses a model held in a string.
+func ParseString(src string) (*ParseResult, error) {
+	return Parse(strings.NewReader(src))
+}
+
+func (p *parser) splitLine(raw string) ([]string, error) {
+	// `#` starts a comment anywhere; `*` only at the start of a line
+	// (SHARPE's own convention), since it is also the multiplication
+	// operator inside expressions.
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	if trimmed := strings.TrimSpace(raw); strings.HasPrefix(trimmed, "*") {
+		return nil, nil
+	}
+	return strings.Fields(raw), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sharpe: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) wrap(err error) error {
+	return fmt.Errorf("sharpe: line %d: %w", p.line, err)
+}
+
+func (p *parser) parseEval(fields []string) error {
+	if len(fields) < 3 {
+		return p.errf("eval needs a model and a measure")
+	}
+	req := EvalRequest{Model: fields[1]}
+	if _, err := p.sys.Model(req.Model); err != nil {
+		return p.wrap(err)
+	}
+	switch fields[2] {
+	case "reliability":
+		if len(fields) != 4 {
+			return p.errf("eval reliability needs a time")
+		}
+		h, err := EvalExpr(fields[3], p.env)
+		if err != nil {
+			return p.wrap(err)
+		}
+		req.Kind, req.Hours = EvalReliability, h
+	case "curve":
+		if len(fields) != 5 {
+			return p.errf("eval curve needs a horizon and a step count")
+		}
+		h, err := EvalExpr(fields[3], p.env)
+		if err != nil {
+			return p.wrap(err)
+		}
+		steps, err := strconv.Atoi(fields[4])
+		if err != nil || steps < 1 {
+			return p.errf("bad step count %q", fields[4])
+		}
+		req.Kind, req.Hours, req.Steps = EvalCurve, h, steps
+	case "mttf":
+		if len(fields) != 3 {
+			return p.errf("eval mttf takes no arguments")
+		}
+		req.Kind = EvalMTTF
+	default:
+		return p.errf("unknown measure %q", fields[2])
+	}
+	p.evals = append(p.evals, req)
+	return nil
+}
+
+func (p *parser) finishBlock(head []string, lines []string) error {
+	name := head[1]
+	switch head[0] {
+	case "markov":
+		return p.finishMarkov(name, lines)
+	case "rbd":
+		return p.finishRBD(name, lines)
+	case "ftree":
+		return p.finishFtree(name, lines)
+	}
+	return p.errf("unknown block kind %q", head[0])
+}
+
+func (p *parser) finishMarkov(name string, lines []string) error {
+	b := markov.NewBuilder()
+	var initState string
+	var fail []string
+	for _, ln := range lines {
+		f := strings.Fields(ln)
+		switch f[0] {
+		case "trans":
+			if len(f) < 4 {
+				return p.errf("markov %s: trans needs FROM TO EXPR", name)
+			}
+			rate, err := EvalExpr(strings.Join(f[3:], " "), p.env)
+			if err != nil {
+				return p.wrap(err)
+			}
+			b.AddRate(f[1], f[2], rate)
+		case "init":
+			if len(f) != 2 {
+				return p.errf("markov %s: init needs one state", name)
+			}
+			initState = f[1]
+		case "fail":
+			if len(f) < 2 {
+				return p.errf("markov %s: fail needs at least one state", name)
+			}
+			fail = append(fail, f[1:]...)
+		default:
+			return p.errf("markov %s: unknown line %q", name, ln)
+		}
+	}
+	if initState == "" {
+		return p.errf("markov %s: missing init", name)
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return p.wrap(err)
+	}
+	m, err := NewCTMC(name, chain, initState, fail)
+	if err != nil {
+		return p.wrap(err)
+	}
+	return p.addModel(m)
+}
+
+func (p *parser) finishRBD(name string, lines []string) error {
+	nodes := make(map[string]rbd.Block)
+	var topName string
+	resolve := func(children []string) ([]rbd.Block, error) {
+		out := make([]rbd.Block, len(children))
+		for i, c := range children {
+			b, ok := nodes[c]
+			if !ok {
+				return nil, p.errf("rbd %s: undefined node %q", name, c)
+			}
+			out[i] = b
+		}
+		return out, nil
+	}
+	define := func(n string, b rbd.Block) error {
+		if _, dup := nodes[n]; dup {
+			return p.errf("rbd %s: duplicate node %q", name, n)
+		}
+		nodes[n] = b
+		return nil
+	}
+	for _, ln := range lines {
+		f := strings.Fields(ln)
+		switch f[0] {
+		case "exp":
+			if len(f) < 3 {
+				return p.errf("rbd %s: exp needs NODE EXPR", name)
+			}
+			rate, err := EvalExpr(strings.Join(f[2:], " "), p.env)
+			if err != nil {
+				return p.wrap(err)
+			}
+			if rate < 0 {
+				return p.errf("rbd %s: negative rate for %q", name, f[1])
+			}
+			if err := define(f[1], rbd.Exponential(f[1], rate)); err != nil {
+				return err
+			}
+		case "model":
+			if len(f) != 3 {
+				return p.errf("rbd %s: model needs NODE SUBMODEL", name)
+			}
+			rf, err := p.sys.ReliabilityFunc(f[2])
+			if err != nil {
+				return p.wrap(err)
+			}
+			if err := define(f[1], &rbd.Basic{Name: f[1], Fn: rf}); err != nil {
+				return err
+			}
+		case "series", "parallel":
+			if len(f) < 3 {
+				return p.errf("rbd %s: %s needs NODE CHILD...", name, f[0])
+			}
+			children, err := resolve(f[2:])
+			if err != nil {
+				return err
+			}
+			var blk rbd.Block
+			if f[0] == "series" {
+				blk = rbd.NewSeries(children...)
+			} else {
+				blk = rbd.NewParallel(children...)
+			}
+			if err := define(f[1], blk); err != nil {
+				return err
+			}
+		case "kofn":
+			if len(f) < 4 {
+				return p.errf("rbd %s: kofn needs NODE K CHILD...", name)
+			}
+			k, err := strconv.Atoi(f[2])
+			if err != nil {
+				return p.errf("rbd %s: bad k %q", name, f[2])
+			}
+			children, err := resolve(f[3:])
+			if err != nil {
+				return err
+			}
+			if k < 1 || k > len(children) {
+				return p.errf("rbd %s: k=%d out of range", name, k)
+			}
+			if err := define(f[1], rbd.NewKOfN(k, children...)); err != nil {
+				return err
+			}
+		case "top":
+			if len(f) != 2 {
+				return p.errf("rbd %s: top needs one node", name)
+			}
+			topName = f[1]
+		default:
+			return p.errf("rbd %s: unknown line %q", name, ln)
+		}
+	}
+	if topName == "" {
+		return p.errf("rbd %s: missing top", name)
+	}
+	top, ok := nodes[topName]
+	if !ok {
+		return p.errf("rbd %s: undefined top %q", name, topName)
+	}
+	return p.addModel(NewRBD(name, top, 0))
+}
+
+func (p *parser) finishFtree(name string, lines []string) error {
+	nodes := make(map[string]faulttree.Node)
+	var topName string
+	resolve := func(children []string) ([]faulttree.Node, error) {
+		out := make([]faulttree.Node, len(children))
+		for i, c := range children {
+			n, ok := nodes[c]
+			if !ok {
+				return nil, p.errf("ftree %s: undefined node %q", name, c)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+	define := func(n string, node faulttree.Node) error {
+		if _, dup := nodes[n]; dup {
+			return p.errf("ftree %s: duplicate node %q", name, n)
+		}
+		nodes[n] = node
+		return nil
+	}
+	for _, ln := range lines {
+		f := strings.Fields(ln)
+		switch f[0] {
+		case "exp", "const":
+			if len(f) < 3 {
+				return p.errf("ftree %s: %s needs EVENT EXPR", name, f[0])
+			}
+			v, err := EvalExpr(strings.Join(f[2:], " "), p.env)
+			if err != nil {
+				return p.wrap(err)
+			}
+			var ev *faulttree.Event
+			if f[0] == "exp" {
+				if v < 0 {
+					return p.errf("ftree %s: negative rate for %q", name, f[1])
+				}
+				ev = faulttree.ExponentialEvent(f[1], v)
+			} else {
+				if v < 0 || v > 1 {
+					return p.errf("ftree %s: probability %v out of [0,1]", name, v)
+				}
+				ev = faulttree.ConstEvent(f[1], v)
+			}
+			if err := define(f[1], ev); err != nil {
+				return err
+			}
+		case "model":
+			if len(f) != 3 {
+				return p.errf("ftree %s: model needs EVENT SUBMODEL", name)
+			}
+			un, err := p.sys.Unreliability(f[2])
+			if err != nil {
+				return p.wrap(err)
+			}
+			if err := define(f[1], faulttree.NewEvent(f[1], un)); err != nil {
+				return err
+			}
+		case "and", "or":
+			if len(f) < 3 {
+				return p.errf("ftree %s: %s needs GATE CHILD...", name, f[0])
+			}
+			children, err := resolve(f[2:])
+			if err != nil {
+				return err
+			}
+			var g faulttree.Node
+			if f[0] == "and" {
+				g = faulttree.AND(children...)
+			} else {
+				g = faulttree.OR(children...)
+			}
+			if err := define(f[1], g); err != nil {
+				return err
+			}
+		case "kofn":
+			if len(f) < 4 {
+				return p.errf("ftree %s: kofn needs GATE K CHILD...", name)
+			}
+			k, err := strconv.Atoi(f[2])
+			if err != nil {
+				return p.errf("ftree %s: bad k %q", name, f[2])
+			}
+			children, err := resolve(f[3:])
+			if err != nil {
+				return err
+			}
+			if k < 1 || k > len(children) {
+				return p.errf("ftree %s: k=%d out of range", name, k)
+			}
+			if err := define(f[1], faulttree.KOfN(k, children...)); err != nil {
+				return err
+			}
+		case "top":
+			if len(f) != 2 {
+				return p.errf("ftree %s: top needs one node", name)
+			}
+			topName = f[1]
+		default:
+			return p.errf("ftree %s: unknown line %q", name, ln)
+		}
+	}
+	if topName == "" {
+		return p.errf("ftree %s: missing top", name)
+	}
+	top, ok := nodes[topName]
+	if !ok {
+		return p.errf("ftree %s: undefined top %q", name, topName)
+	}
+	tree, err := faulttree.New(top)
+	if err != nil {
+		return p.wrap(err)
+	}
+	return p.addModel(NewFaultTree(name, tree, 0))
+}
+
+func (p *parser) addModel(m Model) error {
+	if err := p.sys.Add(m); err != nil {
+		return p.wrap(err)
+	}
+	return nil
+}

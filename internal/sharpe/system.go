@@ -1,0 +1,270 @@
+// Package sharpe re-implements the subset of the SHARPE tool (Sahner &
+// Trivedi, "Reliability Modeling using SHARPE") that the paper's
+// dependability analysis uses: continuous-time Markov chains, reliability
+// block diagrams and fault trees, composed hierarchically so that a basic
+// event of one model can be bound to the unreliability of another.
+//
+// Two interfaces are provided: a programmatic API (System, AddCTMC,
+// AddRBD, AddFaultTree) used by the paper's models in internal/core, and
+// a small line-oriented input language (see Parse) in the spirit of
+// SHARPE's own, evaluated by cmd/sharpe.
+package sharpe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faulttree"
+	"repro/internal/markov"
+	"repro/internal/rbd"
+)
+
+// Model is a named dependability model that yields a reliability over time.
+type Model interface {
+	// Name returns the model's registry name.
+	Name() string
+	// Kind returns "markov", "rbd" or "ftree".
+	Kind() string
+	// Reliability returns R(t) with t in hours.
+	Reliability(hours float64) (float64, error)
+	// MTTF returns the mean time to failure in hours.
+	MTTF() (float64, error)
+}
+
+// CTMCModel solves a Markov chain for reliability: R(t) is the probability
+// of not being in any designated failure state at time t.
+type CTMCModel struct {
+	name    string
+	chain   *markov.Chain
+	initial []float64
+	fail    []string
+}
+
+var _ Model = (*CTMCModel)(nil)
+
+// NewCTMC wraps a chain with an initial state and failure states.
+func NewCTMC(name string, chain *markov.Chain, initialState string, failStates []string) (*CTMCModel, error) {
+	p0, err := chain.InitialAt(initialState)
+	if err != nil {
+		return nil, fmt.Errorf("sharpe: model %q: %w", name, err)
+	}
+	if len(failStates) == 0 {
+		return nil, fmt.Errorf("sharpe: model %q has no failure states", name)
+	}
+	for _, s := range failStates {
+		if _, ok := chain.StateIndex(s); !ok {
+			return nil, fmt.Errorf("sharpe: model %q: unknown failure state %q", name, s)
+		}
+	}
+	fail := make([]string, len(failStates))
+	copy(fail, failStates)
+	return &CTMCModel{name: name, chain: chain, initial: p0, fail: fail}, nil
+}
+
+// Name implements Model.
+func (m *CTMCModel) Name() string { return m.name }
+
+// Kind implements Model.
+func (m *CTMCModel) Kind() string { return "markov" }
+
+// Chain exposes the underlying chain (for state-probability reports).
+func (m *CTMCModel) Chain() *markov.Chain { return m.chain }
+
+// Reliability implements Model by transient CTMC solution.
+func (m *CTMCModel) Reliability(hours float64) (float64, error) {
+	p, err := m.chain.Transient(m.initial, hours)
+	if err != nil {
+		return 0, fmt.Errorf("sharpe: model %q: %w", m.name, err)
+	}
+	q, err := m.chain.ProbIn(p, m.fail...)
+	if err != nil {
+		return 0, fmt.Errorf("sharpe: model %q: %w", m.name, err)
+	}
+	return 1 - q, nil
+}
+
+// MTTF implements Model as mean time to absorption in the failure states.
+func (m *CTMCModel) MTTF() (float64, error) {
+	v, err := m.chain.MTTA(m.initial, m.fail...)
+	if err != nil {
+		return 0, fmt.Errorf("sharpe: model %q: %w", m.name, err)
+	}
+	return v, nil
+}
+
+// RBDModel wraps a reliability block diagram.
+type RBDModel struct {
+	name     string
+	top      rbd.Block
+	mttfHint float64
+}
+
+var _ Model = (*RBDModel)(nil)
+
+// NewRBD wraps an RBD top block. mttfHint scales the MTTF quadrature
+// (hours); pass 0 for a default.
+func NewRBD(name string, top rbd.Block, mttfHint float64) *RBDModel {
+	return &RBDModel{name: name, top: top, mttfHint: mttfHint}
+}
+
+// Name implements Model.
+func (m *RBDModel) Name() string { return m.name }
+
+// Kind implements Model.
+func (m *RBDModel) Kind() string { return "rbd" }
+
+// Reliability implements Model.
+func (m *RBDModel) Reliability(hours float64) (float64, error) {
+	return m.top.Reliability(hours), nil
+}
+
+// MTTF implements Model by numeric quadrature of R(t).
+func (m *RBDModel) MTTF() (float64, error) {
+	return rbd.MTTF(m.top, m.mttfHint), nil
+}
+
+// FTModel wraps a fault tree.
+type FTModel struct {
+	name     string
+	tree     *faulttree.Tree
+	mttfHint float64
+}
+
+var _ Model = (*FTModel)(nil)
+
+// NewFaultTree wraps a fault tree whose basic events may be bound to other
+// models via BindEvent on the owning System.
+func NewFaultTree(name string, tree *faulttree.Tree, mttfHint float64) *FTModel {
+	return &FTModel{name: name, tree: tree, mttfHint: mttfHint}
+}
+
+// Name implements Model.
+func (m *FTModel) Name() string { return m.name }
+
+// Kind implements Model.
+func (m *FTModel) Kind() string { return "ftree" }
+
+// Tree exposes the underlying fault tree.
+func (m *FTModel) Tree() *faulttree.Tree { return m.tree }
+
+// Reliability implements Model.
+func (m *FTModel) Reliability(hours float64) (float64, error) {
+	return m.tree.Reliability(hours), nil
+}
+
+// MTTF implements Model by numeric quadrature of R(t).
+func (m *FTModel) MTTF() (float64, error) {
+	b := &rbd.Basic{Name: m.name, Fn: func(h float64) float64 {
+		return m.tree.Reliability(h)
+	}}
+	return rbd.MTTF(b, m.mttfHint), nil
+}
+
+// System is a registry of named models with hierarchical bindings.
+type System struct {
+	models map[string]Model
+	order  []string
+}
+
+// NewSystem returns an empty model registry.
+func NewSystem() *System { return &System{models: make(map[string]Model)} }
+
+// Add registers a model under its name. Re-registration is rejected so a
+// hierarchy cannot silently rebind a substituted sub-model.
+func (s *System) Add(m Model) error {
+	if m == nil {
+		return errors.New("sharpe: add nil model")
+	}
+	if _, dup := s.models[m.Name()]; dup {
+		return fmt.Errorf("sharpe: duplicate model %q", m.Name())
+	}
+	s.models[m.Name()] = m
+	s.order = append(s.order, m.Name())
+	return nil
+}
+
+// Model looks up a registered model.
+func (s *System) Model(name string) (Model, error) {
+	m, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("sharpe: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Names returns the registered model names in registration order.
+func (s *System) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Unreliability returns a fault-tree/RBD-compatible unreliability function
+// backed by the named model; errors inside the closure surface as NaN,
+// which the first Reliability call on the composite will propagate as an
+// out-of-range probability. Composition uses this to bind sub-models.
+func (s *System) Unreliability(name string) (faulttree.Unreliability, error) {
+	m, err := s.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(h float64) float64 {
+		r, err := m.Reliability(h)
+		if err != nil {
+			return math.NaN()
+		}
+		return 1 - r
+	}, nil
+}
+
+// ReliabilityFunc returns R(t) of the named model as a plain function.
+func (s *System) ReliabilityFunc(name string) (func(float64) float64, error) {
+	m, err := s.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(h float64) float64 {
+		r, err := m.Reliability(h)
+		if err != nil {
+			return math.NaN()
+		}
+		return r
+	}, nil
+}
+
+// SeriesPoint is one sample of a reliability curve.
+type SeriesPoint struct {
+	Hours float64
+	R     float64
+}
+
+// Curve samples the named model's reliability at n+1 evenly spaced points
+// over [0, horizon] hours.
+func (s *System) Curve(name string, horizon float64, n int) ([]SeriesPoint, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sharpe: curve with %d intervals", n)
+	}
+	m, err := s.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SeriesPoint, 0, n+1)
+	for i := 0; i <= n; i++ {
+		h := horizon * float64(i) / float64(n)
+		r, err := m.Reliability(h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SeriesPoint{Hours: h, R: r})
+	}
+	return out, nil
+}
+
+// SortedNames returns model names sorted lexicographically.
+func (s *System) SortedNames() []string {
+	out := s.Names()
+	sort.Strings(out)
+	return out
+}

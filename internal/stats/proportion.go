@@ -1,0 +1,48 @@
+// Package stats provides the small statistical estimators shared by the
+// fault-injection campaigns and Monte-Carlo validators.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Proportion is an estimated probability with a confidence interval.
+type Proportion struct {
+	// Hits and Trials define the point estimate Hits/Trials.
+	Hits, Trials int
+	// P is the point estimate.
+	P float64
+	// Lo and Hi bound the 95% Wilson score interval.
+	Lo, Hi float64
+}
+
+// NewProportion computes the Wilson score interval (95%) for hits/trials.
+// The Wilson interval behaves sensibly near 0 and 1, where coverage
+// estimates live.
+func NewProportion(hits, trials int) Proportion {
+	if trials <= 0 {
+		return Proportion{Hits: hits, Trials: trials}
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the standard normal
+	n := float64(trials)
+	p := float64(hits) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Proportion{Hits: hits, Trials: trials, P: p, Lo: lo, Hi: hi}
+}
+
+// String renders the estimate as "p [lo, hi] (hits/trials)".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%d/%d)", p.P, p.Lo, p.Hi, p.Hits, p.Trials)
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionWilson(t *testing.T) {
+	p := NewProportion(90, 100)
+	if math.Abs(p.P-0.9) > 1e-12 {
+		t.Errorf("P = %v", p.P)
+	}
+	if !(p.Lo < 0.9 && 0.9 < p.Hi) {
+		t.Errorf("interval [%v, %v] excludes the point estimate", p.Lo, p.Hi)
+	}
+	if p.Lo < 0.80 || p.Hi > 0.97 {
+		t.Errorf("interval [%v, %v] implausibly wide for n=100", p.Lo, p.Hi)
+	}
+	for _, c := range []struct{ h, n int }{{0, 10}, {10, 10}, {0, 0}} {
+		pp := NewProportion(c.h, c.n)
+		if pp.Lo < 0 || pp.Hi > 1 {
+			t.Errorf("edge (%d/%d): [%v, %v]", c.h, c.n, pp.Lo, pp.Hi)
+		}
+	}
+}
+
+func TestProportionIntervalShrinksWithN(t *testing.T) {
+	small := NewProportion(9, 10)
+	large := NewProportion(900, 1000)
+	if (large.Hi - large.Lo) >= (small.Hi - small.Lo) {
+		t.Error("interval did not shrink with sample size")
+	}
+}
+
+func TestProportionKnownValue(t *testing.T) {
+	// Wilson 95% for 5/10: approximately [0.2366, 0.7634].
+	p := NewProportion(5, 10)
+	if math.Abs(p.Lo-0.2366) > 0.001 || math.Abs(p.Hi-0.7634) > 0.001 {
+		t.Errorf("interval [%v, %v], want ≈[0.2366, 0.7634]", p.Lo, p.Hi)
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	s := NewProportion(3, 4).String()
+	if !strings.Contains(s, "0.75") || !strings.Contains(s, "3/4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestProportionProperty(t *testing.T) {
+	check := func(hRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		h := int(hRaw) % (n + 1)
+		p := NewProportion(h, n)
+		return p.Lo >= 0 && p.Hi <= 1 && p.Lo <= p.P+1e-12 && p.P <= p.Hi+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

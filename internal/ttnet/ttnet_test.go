@@ -1,0 +1,364 @@
+package ttnet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// twoNodeBus builds a bus with nodes "a" (slot 0) and "b" (slot 1), each
+// transmitting its cycle number tagged with an id, and records received
+// frames per node.
+func twoNodeBus(t *testing.T, cfg Config) (*des.Simulator, *Bus, map[NodeID][]Frame, map[NodeID]*Endpoint) {
+	t.Helper()
+	sim := des.New()
+	bus, err := NewBus(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[NodeID][]Frame)
+	eps := make(map[NodeID]*Endpoint)
+	for i, id := range []NodeID{"a", "b"} {
+		id := id
+		tag := uint32(i + 1)
+		ep, err := bus.Attach(id,
+			func(cycle uint64, slot int) []uint32 {
+				return []uint32{tag, uint32(cycle)}
+			},
+			func(f Frame) { got[id] = append(got[id], f) },
+			nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = ep
+	}
+	if err := bus.AssignSlot(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AssignSlot(1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	return sim, bus, got, eps
+}
+
+func TestConfigValidation(t *testing.T) {
+	sim := des.New()
+	if _, err := NewBus(nil, Config{StaticSlots: 1}); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := NewBus(sim, Config{StaticSlots: 0}); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewBus(sim, Config{StaticSlots: 1, DynamicLen: -1}); err == nil {
+		t.Error("negative dynamic length accepted")
+	}
+	cfg := Config{StaticSlots: 4, SlotLen: des.Millisecond, DynamicLen: 2 * des.Millisecond}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CycleLen() != 6*des.Millisecond {
+		t.Errorf("cycle = %v", cfg.CycleLen())
+	}
+}
+
+func TestAttachAndAssignRules(t *testing.T) {
+	sim := des.New()
+	bus, err := NewBus(sim, Config{StaticSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Attach("", nil, nil, nil); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := bus.Attach("a", nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Attach("a", nil, nil, nil); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := bus.AssignSlot(5, "a"); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := bus.AssignSlot(0, "ghost"); err == nil {
+		t.Error("unknown owner accepted")
+	}
+	if err := bus.AssignSlot(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AssignSlot(0, "a"); err == nil {
+		t.Error("double assignment accepted")
+	}
+	if err := bus.Start(); err == nil {
+		t.Error("start with unowned slot accepted")
+	}
+}
+
+func TestTDMADelivery(t *testing.T) {
+	cfg := Config{StaticSlots: 2, SlotLen: des.Millisecond}
+	sim, bus, got, _ := twoNodeBus(t, cfg)
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run three full cycles (2 ms each).
+	if err := sim.RunUntil(6*des.Millisecond + des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// Every node sees every frame: 2 senders × 3 cycles = 6 frames each.
+	for _, id := range []NodeID{"a", "b"} {
+		frames := got[id]
+		if len(frames) != 6 {
+			t.Fatalf("%s received %d frames, want 6", id, len(frames))
+		}
+		// Alternating senders a, b, a, b...
+		for i, f := range frames {
+			wantSender := NodeID("a")
+			if i%2 == 1 {
+				wantSender = "b"
+			}
+			if f.Sender != wantSender || !f.Valid {
+				t.Errorf("frame %d: %+v", i, f)
+			}
+			if f.Payload[1] != uint32(i/2) {
+				t.Errorf("frame %d cycle payload = %d", i, f.Payload[1])
+			}
+		}
+	}
+	st := bus.Stats()
+	if st.FramesDelivered != 6 || st.CyclesCompleted != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSilenceAndMembership(t *testing.T) {
+	cfg := Config{StaticSlots: 2, SlotLen: des.Millisecond}
+	sim, bus, _, eps := twoNodeBus(t, cfg)
+	var views []map[NodeID]bool
+	// Use node a's cycle callback as the membership observer.
+	busA := eps["a"]
+	busA.onCycle = func(cycle uint64, tx map[NodeID]bool) {
+		cp := make(map[NodeID]bool, len(tx))
+		for k, v := range tx {
+			cp[k] = v
+		}
+		views = append(views, cp)
+	}
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Silence b during the second cycle, resume before the fourth.
+	sim.Schedule(2*des.Millisecond+des.Microsecond, des.PrioKernel, func() { eps["b"].Silence() })
+	sim.Schedule(5*des.Millisecond, des.PrioKernel, func() { eps["b"].Resume() })
+	if err := sim.RunUntil(8*des.Millisecond + des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 4 {
+		t.Fatalf("views = %d", len(views))
+	}
+	if !views[0]["b"] || !views[0]["a"] {
+		t.Errorf("cycle 0 membership %v", views[0])
+	}
+	if views[1]["b"] {
+		t.Errorf("cycle 1 should miss b: %v", views[1])
+	}
+	if !views[3]["b"] {
+		t.Errorf("cycle 3 should have b reintegrated: %v", views[3])
+	}
+	if !eps["b"].Silenced() && views[1]["b"] {
+		t.Error("silence not effective")
+	}
+}
+
+func TestCorruptedFrameFlagged(t *testing.T) {
+	cfg := Config{StaticSlots: 2, SlotLen: des.Millisecond}
+	sim, bus, got, _ := twoNodeBus(t, cfg)
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	bus.CorruptNextFrame(0)
+	if err := sim.RunUntil(4*des.Millisecond + des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	frames := got["b"]
+	if len(frames) != 4 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if frames[0].Valid {
+		t.Error("corrupted frame marked valid")
+	}
+	if !frames[2].Valid {
+		t.Error("corruption persisted beyond one frame")
+	}
+	st := bus.Stats()
+	if st.FramesCorrupted != 1 {
+		t.Errorf("corrupted = %d", st.FramesCorrupted)
+	}
+	// Membership: a's corrupted frame does not count as transmitted in
+	// cycle 0 — receivers could not validate it.
+}
+
+func TestSkippedSlotCounts(t *testing.T) {
+	sim := des.New()
+	bus, err := NewBus(sim, Config{StaticSlots: 1, SlotLen: des.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	if _, err := bus.Attach("a", func(cycle uint64, slot int) []uint32 {
+		if cycle%2 == 1 {
+			return nil // skip odd cycles
+		}
+		sent++
+		return []uint32{1}
+	}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AssignSlot(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(4*des.Millisecond + des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	st := bus.Stats()
+	if st.SlotsSkipped != 2 || st.FramesDelivered != 2 {
+		t.Errorf("stats = %+v (sent %d)", st, sent)
+	}
+}
+
+func TestDynamicSegmentPriorityOrder(t *testing.T) {
+	cfg := Config{
+		StaticSlots: 1, SlotLen: des.Millisecond,
+		DynamicLen: des.Millisecond, DynMiniSlot: 200 * des.Microsecond,
+	}
+	sim := des.New()
+	bus, err := NewBus(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dynFrames []Frame
+	epA, err := bus.Attach("a", func(uint64, int) []uint32 { return []uint32{0} },
+		func(f Frame) {
+			if f.Slot == -1 {
+				dynFrames = append(dynFrames, f)
+			}
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := bus.Attach("b", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AssignSlot(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Queue three messages before the first dynamic segment: b's is
+	// higher priority and must arrive first despite later queueing.
+	epA.SendDynamic(1, []uint32{100})
+	epA.SendDynamic(1, []uint32{101})
+	epB.SendDynamic(9, []uint32{200})
+	if err := sim.RunUntil(2*des.Millisecond + des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(dynFrames) != 3 {
+		t.Fatalf("dynamic frames = %d", len(dynFrames))
+	}
+	if dynFrames[0].Payload[0] != 200 {
+		t.Errorf("priority violated: first = %v", dynFrames[0].Payload)
+	}
+	if dynFrames[1].Payload[0] != 100 || dynFrames[2].Payload[0] != 101 {
+		t.Errorf("FIFO within priority violated: %v, %v",
+			dynFrames[1].Payload, dynFrames[2].Payload)
+	}
+}
+
+func TestDynamicSegmentCapacityCarriesOver(t *testing.T) {
+	cfg := Config{
+		StaticSlots: 1, SlotLen: des.Millisecond,
+		DynamicLen: 400 * des.Microsecond, DynMiniSlot: 200 * des.Microsecond,
+	}
+	sim := des.New()
+	bus, err := NewBus(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var values []uint32
+	ep, err := bus.Attach("a", func(uint64, int) []uint32 { return []uint32{0} },
+		func(f Frame) {
+			if f.Slot == -1 {
+				values = append(values, f.Payload[0])
+			}
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AssignSlot(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity is 2 per cycle; queue 3.
+	for i := uint32(0); i < 3; i++ {
+		ep.SendDynamic(0, []uint32{i})
+	}
+	if err := sim.RunUntil(3 * cfg.CycleLen()); err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 3 {
+		t.Fatalf("delivered = %v", values)
+	}
+	if values[0] != 0 || values[1] != 1 || values[2] != 2 {
+		t.Errorf("order = %v", values)
+	}
+	if bus.Stats().DynamicDropped != 1 {
+		t.Errorf("dropped = %d (carry-over accounting)", bus.Stats().DynamicDropped)
+	}
+}
+
+func TestFrameCRCHelpers(t *testing.T) {
+	payload := []uint32{1, 2, 3}
+	crc := FrameCRC("a", payload)
+	f := Frame{Sender: "a", Payload: payload}
+	if !VerifyFrame(f, crc) {
+		t.Error("valid CRC rejected")
+	}
+	f.Payload = []uint32{1, 2, 4}
+	if VerifyFrame(f, crc) {
+		t.Error("corrupted payload accepted")
+	}
+	if FrameCRC("a", payload) == FrameCRC("b", payload) {
+		t.Error("CRC ignores sender (masquerading undetectable)")
+	}
+}
+
+func BenchmarkBusCycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := des.New()
+		bus, err := NewBus(sim, Config{StaticSlots: 6, SlotLen: des.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			id := NodeID(rune('a' + j))
+			if _, err := bus.Attach(id, func(uint64, int) []uint32 { return []uint32{1} }, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := bus.AssignSlot(j, id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bus.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.RunUntil(des.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package nlft is the public API of this reproduction of "A Framework
+// for Node-Level Fault Tolerance in Distributed Real-Time Systems"
+// (Aidemark, Folkesson, Karlsson; DSN 2005).
+//
+// The paper proposes light-weight node-level fault tolerance (NLFT):
+// masking most transient faults locally inside each node of a
+// distributed real-time system by temporal error masking (TEM — execute
+// each critical task twice, compare, and run a third copy plus majority
+// vote only when an error is detected), while permanent faults and
+// unmaskable transients surface as omission or fail-silent failures for
+// the system level to handle.
+//
+// The package re-exports the three layers a user works with:
+//
+//   - Reliability analysis (the paper's evaluation): the parameter set
+//     of §3.3, the Markov/RBD/fault-tree models of Figures 5–11 and the
+//     generators for Figures 12–14 and the MTTF table.
+//
+//   - Simulation: the NLFT real-time kernel on a simulated COTS CPU,
+//     fault-injection campaigns that estimate C_D/P_T/P_OM/P_FS, and the
+//     full brake-by-wire system of Figure 4 braking a vehicle model over
+//     a time-triggered bus.
+//
+//   - Schedulability: fault-tolerant response-time analysis verifying
+//     that TEM's recovery slack fits a task set (§2.8).
+//
+// See the examples directory for runnable walk-throughs and DESIGN.md
+// for the system inventory.
+package nlft
+
+import (
+	"repro/internal/bbw"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/node"
+	"repro/internal/sched"
+	"repro/internal/sharpe"
+)
+
+// --- Reliability analysis (paper §3) ---
+
+// Params is the dependability parameter set of §3.2.2/§3.3.
+type Params = core.Params
+
+// NodeType selects fail-silent (FS) or light-weight NLFT nodes.
+type NodeType = core.NodeType
+
+// Mode selects full or degraded functionality (§3.2).
+type Mode = core.Mode
+
+// Node types and functionality modes.
+const (
+	FS       = core.FS
+	NLFT     = core.NLFT
+	Full     = core.Full
+	Degraded = core.Degraded
+)
+
+// HoursPerYear converts the paper's one-year horizon to hours.
+const HoursPerYear = core.HoursPerYear
+
+// PaperParams returns the parameter assignment of §3.3.
+func PaperParams() Params { return core.PaperParams() }
+
+// BBWSystem assembles the Figure 5 reliability hierarchy for a node type
+// and functionality mode; the returned system holds models "cu",
+// "wheels" and "bbw".
+func BBWSystem(p Params, nt NodeType, mode Mode) (*sharpe.System, error) {
+	return core.BBWSystem(p, nt, mode)
+}
+
+// SystemReliability evaluates R(t) (t in hours) of the BBW system.
+func SystemReliability(p Params, nt NodeType, mode Mode, hours float64) (float64, error) {
+	return core.SystemReliability(p, nt, mode, hours)
+}
+
+// SystemMTTF evaluates the system mean time to failure in hours.
+func SystemMTTF(p Params, nt NodeType, mode Mode) (float64, error) {
+	return core.SystemMTTF(p, nt, mode)
+}
+
+// Figure generators for the paper's evaluation section.
+type (
+	// Figure12Row is one sample of the system-reliability curves.
+	Figure12Row = core.Figure12Row
+	// Figure13Row is one sample of the subsystem-reliability curves.
+	Figure13Row = core.Figure13Row
+	// Figure14Row is one sample of the coverage/fault-rate sweep.
+	Figure14Row = core.Figure14Row
+	// MTTFComparison is one row of the §3.4 MTTF table.
+	MTTFComparison = core.MTTFComparison
+	// Headline carries the paper's two headline claims.
+	Headline = core.Headline
+)
+
+// Figure12 regenerates Figure 12 (system reliability over a horizon).
+func Figure12(p Params, horizonHours float64, steps int) ([]Figure12Row, error) {
+	return core.Figure12(p, horizonHours, steps)
+}
+
+// Figure13 regenerates Figure 13 (subsystem reliability).
+func Figure13(p Params, horizonHours float64, steps int) ([]Figure13Row, error) {
+	return core.Figure13(p, horizonHours, steps)
+}
+
+// Figure14 regenerates Figure 14 (reliability after a mission time vs
+// transient fault rate, for several coverage values).
+func Figure14(p Params, missionHours float64, coverages, multiples []float64) ([]Figure14Row, error) {
+	return core.Figure14(p, missionHours, coverages, multiples)
+}
+
+// MTTFTable regenerates the §3.4 MTTF comparison.
+func MTTFTable(p Params) ([]MTTFComparison, error) { return core.MTTFTable(p) }
+
+// ComputeHeadline evaluates the headline comparison for degraded mode
+// (paper: one-year reliability 0.45 → 0.70, MTTF 1.2 y → 1.9 y).
+func ComputeHeadline(p Params) (Headline, error) { return core.ComputeHeadline(p) }
+
+// --- Fault injection (the experimental side of the framework) ---
+
+// Campaign types.
+type (
+	// CampaignConfig parameterizes an injection campaign.
+	CampaignConfig = fault.CampaignConfig
+	// CampaignResult aggregates a campaign with parameter estimates.
+	CampaignResult = fault.Result
+	// Workload builds identical trial instances for a campaign.
+	Workload = fault.Workload
+	// StdWorkloadConfig parameterizes the standard campaign workload.
+	StdWorkloadConfig = fault.StdWorkloadConfig
+)
+
+// NewStdWorkload returns the standard single-task critical workload.
+func NewStdWorkload(cfg StdWorkloadConfig) Workload { return fault.NewStdWorkload(cfg) }
+
+// RunCampaign executes a fault-injection campaign.
+func RunCampaign(w Workload, cfg CampaignConfig) (*CampaignResult, error) {
+	return fault.Run(w, cfg)
+}
+
+// DeriveParams folds campaign estimates into a Params value, closing the
+// loop between experiment and analysis.
+func DeriveParams(base Params, w Workload, cfg CampaignConfig) (Params, *CampaignResult, error) {
+	return core.DeriveParams(base, w, cfg)
+}
+
+// --- Brake-by-wire simulation (paper §3.1, Figure 4) ---
+
+// Brake-by-wire types.
+type (
+	// Scenario describes one braking experiment.
+	Scenario = bbw.Scenario
+	// ScenarioResult is a completed braking experiment.
+	ScenarioResult = bbw.Result
+	// SystemConfig parameterizes the BBW assembly.
+	SystemConfig = bbw.SystemConfig
+	// Injection is one scheduled fault in a scenario.
+	Injection = bbw.Injection
+	// NodeKind selects NLFT or FS kernels for every node.
+	NodeKind = bbw.NodeKind
+)
+
+// Node kinds and injection kinds for scenarios.
+const (
+	NLFTNodes   = bbw.NLFTNodes
+	FSNodes     = bbw.FSNodes
+	InjKill     = bbw.InjKill
+	InjRegister = bbw.InjRegister
+	InjPC       = bbw.InjPC
+	InjALU      = bbw.InjALU
+)
+
+// RunScenario executes a braking experiment.
+func RunScenario(sc Scenario) (*ScenarioResult, error) { return bbw.Run(sc) }
+
+// --- Schedulability (paper §2.8) ---
+
+// Schedulability types.
+type (
+	// Task is one periodic task for analysis.
+	Task = sched.Task
+	// TEMOverheads parameterizes the TEM execution costs.
+	TEMOverheads = sched.TEMOverheads
+	// SlackReport is the fault-tolerant schedulability verdict.
+	SlackReport = core.SlackReport
+)
+
+// VerifySlack applies the TEM transform and runs fault-tolerant RTA.
+func VerifySlack(raw []Task, ov TEMOverheads, faultsPerHour float64) (*SlackReport, error) {
+	return core.VerifySlack(raw, ov, faultsPerHour)
+}
+
+// --- Monte-Carlo model validation ---
+
+// MonteCarloBBW estimates the BBW reliability by simulating behavioural
+// node clusters; it cross-validates the analytic models.
+func MonteCarloBBW(trials int, horizonHours float64, nt NodeType, mode Mode, p Params, seed uint64) (*node.MonteCarloResult, error) {
+	behavior := node.FSBehavior
+	if nt == NLFT {
+		behavior = node.NLFTBehavior
+	}
+	clusterMode := node.FullMode
+	if mode == Degraded {
+		clusterMode = node.DegradedMode
+	}
+	rates := node.Rates{
+		LambdaP: p.LambdaP, LambdaT: p.LambdaT, CD: p.CD,
+		PT: p.PT, POM: p.POM, PFS: p.PFS, MuR: p.MuR, MuOM: p.MuOM,
+	}
+	return node.MonteCarloBBW(trials, horizonHours, behavior, clusterMode, rates, seed)
+}
+
+// --- Simulated time ---
+
+// Time is simulated time in nanoseconds (see internal/des).
+type Time = des.Time
+
+// Simulated-time unit constants.
+const (
+	Microsecond = des.Microsecond
+	Millisecond = des.Millisecond
+	Second      = des.Second
+	Hour        = des.Hour
+)

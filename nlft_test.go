@@ -1,0 +1,95 @@
+package nlft
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the README
+// documents: parameters → models → figures, a small campaign →
+// derived parameters, a braking scenario, and a schedulability check.
+func TestFacadeEndToEnd(t *testing.T) {
+	p := PaperParams()
+
+	// Analysis layer.
+	r, err := SystemReliability(p, NLFT, Degraded, HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.68 || r > 0.73 {
+		t.Errorf("R = %v", r)
+	}
+	sys, err := BBWSystem(p, FS, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Model("bbw"); err != nil {
+		t.Error(err)
+	}
+	h, err := ComputeHeadline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RGain <= 0 || h.MTTFGain <= 0 {
+		t.Errorf("headline = %+v", h)
+	}
+	if _, err := Figure12(p, HoursPerYear, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := Figure13(p, HoursPerYear, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := Figure14(p, 5, []float64{0.99}, []float64{1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := MTTFTable(p); err != nil {
+		t.Error(err)
+	}
+
+	// Experimental layer.
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	res, err := RunCampaign(w, CampaignConfig{Trials: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classified := 0
+	for _, n := range res.Counts {
+		classified += n
+	}
+	if classified != 40 {
+		t.Errorf("classified %d of 40 trials", classified)
+	}
+
+	// Simulation layer.
+	sc, err := RunScenario(Scenario{
+		Config:    SystemConfig{Kind: NLFTNodes},
+		Duration:  6 * Second,
+		StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Stopped {
+		t.Error("vehicle did not stop")
+	}
+
+	// Schedulability layer.
+	rep, err := VerifySlack([]Task{
+		{Name: "brake", C: Millisecond, T: 10 * Millisecond, D: 10 * Millisecond, Criticality: 5},
+	}, TEMOverheads{Compare: Millisecond / 10, Vote: Millisecond / 5}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Error("trivial set unschedulable")
+	}
+
+	// Monte-Carlo layer.
+	mc, err := MonteCarloBBW(200, 1000, FS, Full, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.R.P < 0 || mc.R.P > 1 || math.IsNaN(mc.R.P) {
+		t.Errorf("MC R = %v", mc.R.P)
+	}
+}
