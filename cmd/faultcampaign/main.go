@@ -6,12 +6,14 @@
 // Usage:
 //
 //	faultcampaign [-trials N] [-seed S] [-ecc] [-compute N] [-targets list]
+//	              [-parallel N] [-cpuprofile file]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	nlft "repro"
@@ -25,9 +27,25 @@ func main() {
 	compute := flag.Int("compute", 64, "workload inner-loop iterations (duty cycle)")
 	targetsFlag := flag.String("targets", "", "comma-separated fault targets: register,pc,sp,alu,mem-data,mem-code (default all)")
 	derive := flag.Bool("derive", false, "also derive model parameters and print the headline comparison")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the campaign (0 = GOMAXPROCS); results are identical for any value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
-	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel); err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 		os.Exit(1)
 	}
@@ -52,13 +70,13 @@ func parseTargets(spec string) ([]fault.Target, error) {
 	return out, nil
 }
 
-func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, derive bool) error {
+func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, derive bool, parallel int) error {
 	targets, err := parseTargets(targetsFlag)
 	if err != nil {
 		return err
 	}
 	w := nlft.NewStdWorkload(nlft.StdWorkloadConfig{ECC: ecc, Compute: compute})
-	cfg := nlft.CampaignConfig{Trials: trials, Seed: seed, Targets: targets}
+	cfg := nlft.CampaignConfig{Trials: trials, Seed: seed, Targets: targets, Parallelism: parallel}
 	res, err := nlft.RunCampaign(w, cfg)
 	if err != nil {
 		return err

@@ -9,12 +9,16 @@
 //	reliability -fig 14 [-mission H] [-csv]
 //	reliability -mttf
 //	reliability -headline
+//
+// All modes accept [-parallel N] [-cpuprofile file].
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	nlft "repro"
 )
@@ -26,9 +30,28 @@ func main() {
 	steps := flag.Int("steps", 12, "samples along the time axis")
 	mission := flag.Float64("mission", 5, "mission time in hours (figure 14)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	parallel := flag.Int("parallel", 0, "cap on concurrent solver goroutines via GOMAXPROCS (0 = all cores); results are identical for any value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
+	if *parallel > 0 {
+		runtime.GOMAXPROCS(*parallel)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reliability:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "reliability:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if err := run(*fig, *mttf, *headline, *steps, *mission, *csv); err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "reliability:", err)
 		os.Exit(1)
 	}

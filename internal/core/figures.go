@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // Figure12Row is one sample of Figure 12: BBW system reliability over one
@@ -26,33 +28,63 @@ var configs = []struct {
 	{NLFT, Degraded},
 }
 
+// timeGrid returns steps+1 evenly spaced samples over [0, horizon].
+func timeGrid(horizonHours float64, steps int) []float64 {
+	times := make([]float64, steps+1)
+	for i := range times {
+		times[i] = horizonHours * float64(i) / float64(steps)
+	}
+	return times
+}
+
 // Figure12 regenerates the paper's Figure 12: system reliability sampled
 // at steps+1 points over [0, horizon] hours for all four configurations.
+// Each configuration's curve is one shared series solve (a single matrix
+// exponential per chain, propagated across the grid), and the four
+// configurations run concurrently.
 func Figure12(p Params, horizonHours float64, steps int) ([]Figure12Row, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("core: figure 12 with %d steps", steps)
 	}
-	funcs := make(map[[2]int]func(float64) float64, len(configs))
-	for _, c := range configs {
-		sys, err := BBWSystem(p, c.NT, c.Mode)
+	times := timeGrid(horizonHours, steps)
+	curves := make(map[[2]int][]float64, len(configs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(configs))
+	for ci, c := range configs {
+		ci, c := ci, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := BBWSystem(p, c.NT, c.Mode)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			rs, err := sys.ReliabilitySeries(ModelBBW, times)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			mu.Lock()
+			curves[[2]int{int(c.NT), int(c.Mode)}] = rs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		f, err := sys.ReliabilityFunc(ModelBBW)
-		if err != nil {
-			return nil, err
-		}
-		funcs[[2]int{int(c.NT), int(c.Mode)}] = f
 	}
 	rows := make([]Figure12Row, 0, steps+1)
-	for i := 0; i <= steps; i++ {
-		h := horizonHours * float64(i) / float64(steps)
+	for i, h := range times {
 		rows = append(rows, Figure12Row{
 			Hours:        h,
-			FSFull:       funcs[[2]int{int(FS), int(Full)}](h),
-			FSDegraded:   funcs[[2]int{int(FS), int(Degraded)}](h),
-			NLFTFull:     funcs[[2]int{int(NLFT), int(Full)}](h),
-			NLFTDegraded: funcs[[2]int{int(NLFT), int(Degraded)}](h),
+			FSFull:       curves[[2]int{int(FS), int(Full)}][i],
+			FSDegraded:   curves[[2]int{int(FS), int(Degraded)}][i],
+			NLFTFull:     curves[[2]int{int(NLFT), int(Full)}][i],
+			NLFTDegraded: curves[[2]int{int(NLFT), int(Degraded)}][i],
 		})
 	}
 	return rows, nil
@@ -72,39 +104,60 @@ type Figure13Row struct {
 }
 
 // Figure13 regenerates the paper's Figure 13: reliability of the central
-// unit and wheel-node subsystems for both node types and modes.
+// unit and wheel-node subsystems for both node types and modes. Each
+// subsystem curve is one shared series solve; the four configurations run
+// concurrently.
 func Figure13(p Params, horizonHours float64, steps int) ([]Figure13Row, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("core: figure 13 with %d steps", steps)
 	}
-	sub := make(map[string]func(float64) float64, 6)
-	for _, c := range configs {
-		sys, err := BBWSystem(p, c.NT, c.Mode)
+	times := timeGrid(horizonHours, steps)
+	sub := make(map[string][]float64, 6)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(configs))
+	for ci, c := range configs {
+		ci, c := ci, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := BBWSystem(p, c.NT, c.Mode)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			w, err := sys.ReliabilitySeries(ModelWheels, times)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			cu, err := sys.ReliabilitySeries(ModelCU, times)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			mu.Lock()
+			sub[fmt.Sprintf("wheels/%s/%s", c.NT, c.Mode)] = w
+			sub[fmt.Sprintf("cu/%s", c.NT)] = cu
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		w, err := sys.ReliabilityFunc(ModelWheels)
-		if err != nil {
-			return nil, err
-		}
-		sub[fmt.Sprintf("wheels/%s/%s", c.NT, c.Mode)] = w
-		cu, err := sys.ReliabilityFunc(ModelCU)
-		if err != nil {
-			return nil, err
-		}
-		sub[fmt.Sprintf("cu/%s", c.NT)] = cu
 	}
 	rows := make([]Figure13Row, 0, steps+1)
-	for i := 0; i <= steps; i++ {
-		h := horizonHours * float64(i) / float64(steps)
+	for i, h := range times {
 		rows = append(rows, Figure13Row{
 			Hours:              h,
-			CUFS:               sub["cu/FS"](h),
-			CUNLFT:             sub["cu/NLFT"](h),
-			WheelsFullFS:       sub["wheels/FS/full"](h),
-			WheelsFullNLFT:     sub["wheels/NLFT/full"](h),
-			WheelsDegradedFS:   sub["wheels/FS/degraded"](h),
-			WheelsDegradedNLFT: sub["wheels/NLFT/degraded"](h),
+			CUFS:               sub["cu/FS"][i],
+			CUNLFT:             sub["cu/NLFT"][i],
+			WheelsFullFS:       sub["wheels/FS/full"][i],
+			WheelsFullNLFT:     sub["wheels/NLFT/full"][i],
+			WheelsDegradedFS:   sub["wheels/FS/degraded"][i],
+			WheelsDegradedNLFT: sub["wheels/NLFT/degraded"][i],
 		})
 	}
 	return rows, nil
@@ -129,31 +182,54 @@ type Figure14Row struct {
 // Figure14 regenerates the paper's Figure 14: degraded-mode system
 // reliability after missionHours, sweeping the transient fault rate over
 // the given multiples of p.LambdaT, for each coverage value and both node
-// types.
+// types. Every point of the coverages × node types × multiples grid is an
+// independent model build and solve, so the grid fans out over a worker
+// pool sized to GOMAXPROCS; rows come back in the same deterministic
+// order as the sequential sweep.
 func Figure14(p Params, missionHours float64, coverages, multiples []float64) ([]Figure14Row, error) {
 	if len(coverages) == 0 || len(multiples) == 0 {
 		return nil, fmt.Errorf("core: figure 14 needs coverages and multiples")
 	}
-	var rows []Figure14Row
-	for _, cd := range coverages {
-		for _, nt := range []NodeType{FS, NLFT} {
-			for _, mult := range multiples {
+	nodeTypes := []NodeType{FS, NLFT}
+	rows := make([]Figure14Row, len(coverages)*len(nodeTypes)*len(multiples))
+	errs := make([]error, len(rows))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := wk; idx < len(rows); idx += workers {
+				mult := multiples[idx%len(multiples)]
+				nt := nodeTypes[idx/len(multiples)%len(nodeTypes)]
+				cd := coverages[idx/(len(multiples)*len(nodeTypes))]
 				pp := p
 				pp.CD = cd
 				pp.LambdaT = p.LambdaT * mult
 				r, err := SystemReliability(pp, nt, Degraded, missionHours)
 				if err != nil {
-					return nil, fmt.Errorf("core: figure 14 at cd=%v nt=%v mult=%v: %w",
+					errs[idx] = fmt.Errorf("core: figure 14 at cd=%v nt=%v mult=%v: %w",
 						cd, nt, mult, err)
+					return
 				}
-				rows = append(rows, Figure14Row{
+				rows[idx] = Figure14Row{
 					Coverage:        cd,
 					NodeType:        nt,
 					LambdaTMultiple: mult,
 					LambdaT:         pp.LambdaT,
 					R:               r,
-				})
+				}
 			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
@@ -170,17 +246,33 @@ type MTTFComparison struct {
 }
 
 // MTTFTable computes the MTTF comparison for both functionality modes.
+// The four (mode, node type) quadratures are independent, so they run
+// concurrently.
 func MTTFTable(p Params) ([]MTTFComparison, error) {
-	out := make([]MTTFComparison, 0, 2)
-	for _, mode := range []Mode{Full, Degraded} {
-		fs, err := SystemMTTF(p, FS, mode)
+	modes := []Mode{Full, Degraded}
+	nts := []NodeType{FS, NLFT}
+	mttfs := make([]float64, len(modes)*len(nts))
+	errs := make([]error, len(mttfs))
+	var wg sync.WaitGroup
+	for mi, mode := range modes {
+		for ni, nt := range nts {
+			idx, mode, nt := mi*len(nts)+ni, mode, nt
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mttfs[idx], errs[idx] = SystemMTTF(p, nt, mode)
+			}()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		nl, err := SystemMTTF(p, NLFT, mode)
-		if err != nil {
-			return nil, err
-		}
+	}
+	out := make([]MTTFComparison, 0, len(modes))
+	for mi, mode := range modes {
+		fs, nl := mttfs[mi*len(nts)], mttfs[mi*len(nts)+1]
 		out = append(out, MTTFComparison{
 			Mode: mode, FSHours: fs, NLFTHours: nl, Gain: nl/fs - 1,
 		})

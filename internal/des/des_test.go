@@ -307,6 +307,41 @@ func TestRandDeterminism(t *testing.T) {
 	}
 }
 
+func TestRandIndexedDeterminism(t *testing.T) {
+	// Pure function of (seed, idx): two derivations of the same stream
+	// are identical, whatever order they are created in.
+	a := NewRandIndexed(42, 17)
+	_ = NewRandIndexed(42, 3) // unrelated derivation must not perturb anything
+	b := NewRandIndexed(42, 17)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, idx) diverged")
+		}
+	}
+}
+
+func TestRandIndexedDecorrelation(t *testing.T) {
+	// Nearby indices and nearby seeds must yield unrelated streams.
+	base := NewRandIndexed(42, 0)
+	draws := make([]uint64, 64)
+	for i := range draws {
+		draws[i] = base.Uint64()
+	}
+	for _, other := range []*Rand{
+		NewRandIndexed(42, 1), NewRandIndexed(43, 0), NewRandIndexed(0, 42),
+	} {
+		same := 0
+		for i := range draws {
+			if other.Uint64() == draws[i] {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Errorf("adjacent stream collided on %d of %d draws", same, len(draws))
+		}
+	}
+}
+
 func TestRandSplitIndependence(t *testing.T) {
 	parent := NewRand(1)
 	child := parent.Split()

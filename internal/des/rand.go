@@ -36,6 +36,24 @@ func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64() ^ 0xa3ec647659359acd)
 }
 
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix whose
+// output bits all depend on all input bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRandIndexed returns the idx-th stream of the family identified by
+// seed. The stream is a pure function of (seed, idx) — no draw order or
+// shared state is involved — so workers can derive per-trial streams in
+// any order and a parallel consumer reproduces a sequential one exactly.
+// Both arguments are avalanche-mixed before combination, so families with
+// nearby seeds and streams with nearby indices stay decorrelated.
+func NewRandIndexed(seed, idx uint64) *Rand {
+	return NewRand(mix64(seed+0x9e3779b97f4a7c15) ^ mix64(idx+0x6a09e667f3bcc909))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -2,8 +2,10 @@ package fault
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/des"
 	"repro/internal/kernel"
@@ -29,6 +31,12 @@ type CampaignConfig struct {
 	// force fail-silence. Undetected kernel faults are non-covered
 	// errors. Default 0.98.
 	KernelDetect float64
+	// Parallelism is the number of worker goroutines trials run on.
+	// Default (0) is runtime.GOMAXPROCS(0). Results are bit-identical
+	// for any value: each trial's RNG stream is derived from
+	// (Seed, trial index) alone, so neither worker count nor scheduling
+	// order can perturb any trial.
+	Parallelism int
 }
 
 func (c *CampaignConfig) applyDefaults() {
@@ -43,6 +51,9 @@ func (c *CampaignConfig) applyDefaults() {
 	}
 	if c.KernelDetect == 0 {
 		c.KernelDetect = 0.98
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -115,7 +126,55 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
-// Run executes the campaign on the workload.
+// tally is one worker's private aggregation; tallies are merged after
+// the pool drains so no lock sits on the per-trial hot path. All merges
+// are pure additions, so the merge order cannot influence the result.
+type tally struct {
+	counts      map[Outcome]int
+	byMechanism map[string]int
+	byTarget    map[Target]map[Outcome]int
+}
+
+func newTally() *tally {
+	return &tally{
+		counts:      make(map[Outcome]int),
+		byMechanism: make(map[string]int),
+		byTarget:    make(map[Target]map[Outcome]int),
+	}
+}
+
+func (t *tally) record(rec *TrialRecord) {
+	t.counts[rec.Outcome]++
+	if t.byTarget[rec.Fault.Target] == nil {
+		t.byTarget[rec.Fault.Target] = make(map[Outcome]int)
+	}
+	t.byTarget[rec.Fault.Target][rec.Outcome]++
+	for _, m := range rec.Mechanisms {
+		t.byMechanism[m]++
+	}
+}
+
+func (t *tally) mergeInto(res *Result) {
+	for o, n := range t.counts {
+		res.Counts[o] += n
+	}
+	for m, n := range t.byMechanism {
+		res.ByMechanism[m] += n
+	}
+	for target, counts := range t.byTarget {
+		if res.ByTarget[target] == nil {
+			res.ByTarget[target] = make(map[Outcome]int)
+		}
+		for o, n := range counts {
+			res.ByTarget[target][o] += n
+		}
+	}
+}
+
+// Run executes the campaign on the workload. Trials are distributed over
+// cfg.Parallelism workers; each trial draws from its own RNG stream
+// derived from (Seed, trial index), so the result is bit-identical
+// whatever the worker count.
 func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 	cfg.applyDefaults()
 	if w == nil {
@@ -131,28 +190,52 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 	if len(golden) == 0 {
 		return nil, fmt.Errorf("fault: golden run produced no outputs; workload broken")
 	}
-	rng := des.NewRand(cfg.Seed)
 	res := &Result{
 		Config:      cfg,
 		Golden:      golden,
 		Counts:      make(map[Outcome]int),
 		ByMechanism: make(map[string]int),
 		ByTarget:    make(map[Target]map[Outcome]int),
+		Trials:      make([]TrialRecord, cfg.Trials),
 	}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		rec, err := runTrial(w, cfg, rng, golden)
+	workers := cfg.Parallelism
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	tallies := make([]*tally, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := newTally()
+			tallies[wk] = t
+			var scratch trialScratch
+			// Strided assignment: worker wk owns trials wk, wk+W, ….
+			// Each record lands at its own index, so the trial order of
+			// the Result is the sequential order regardless of workers.
+			for trial := wk; trial < cfg.Trials; trial += workers {
+				rng := des.NewRandIndexed(cfg.Seed, uint64(trial))
+				rec, err := runTrial(w, cfg, rng, golden, &scratch)
+				if err != nil {
+					errs[wk] = fmt.Errorf("fault: trial %d: %w", trial, err)
+					return
+				}
+				res.Trials[trial] = rec
+				t.record(&rec)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("fault: trial %d: %w", trial, err)
+			return nil, err
 		}
-		res.Trials = append(res.Trials, rec)
-		res.Counts[rec.Outcome]++
-		if res.ByTarget[rec.Fault.Target] == nil {
-			res.ByTarget[rec.Fault.Target] = make(map[Outcome]int)
-		}
-		res.ByTarget[rec.Fault.Target][rec.Outcome]++
-		for _, m := range rec.Mechanisms {
-			res.ByMechanism[m]++
-		}
+	}
+	for _, t := range tallies {
+		t.mergeInto(res)
 	}
 	activated := res.Activated()
 	detected := res.Detected()
@@ -223,8 +306,14 @@ func apply(inst *Instance, f Fault) {
 	}
 }
 
+// trialScratch holds per-worker buffers reused across trials to cut
+// allocation churn in large campaigns.
+type trialScratch struct {
+	mechs []string
+}
+
 // runTrial executes one injection run and classifies it.
-func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write) (TrialRecord, error) {
+func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write, scratch *trialScratch) (TrialRecord, error) {
 	inst, err := w.New()
 	if err != nil {
 		return TrialRecord{}, err
@@ -241,7 +330,11 @@ func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write) (Tr
 	inst.Sim.Schedule(f.At, des.PrioInject, func() {
 		if kernelHit || inst.Kernel.Activity() == kernel.ActivityKernel {
 			rec.Kernel = true
-			if kernelDetected || inst.Kernel.Activity() == kernel.ActivityKernel && !kernelHit {
+			// A modelled kernel hit is detected with probability
+			// KernelDetect; a fault that lands while the kernel itself is
+			// executing (and was not already modelled as a kernel hit) is
+			// always caught by the kernel EDMs.
+			if kernelDetected || (inst.Kernel.Activity() == kernel.ActivityKernel && !kernelHit) {
 				inst.Kernel.ForceFailSilent("kernel EDM: assertion after fault")
 			} else {
 				undetectedKernel = true
@@ -254,17 +347,24 @@ func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write) (Tr
 		return TrialRecord{}, err
 	}
 
-	// Collect mechanism attributions.
+	// Collect mechanism attributions into the reused scratch buffer and
+	// copy them into a right-sized slice for the record.
+	mechs := scratch.mechs[:0]
 	st := inst.Kernel.Stats()
 	for m, n := range st.ErrorsDetected {
 		if n > 0 {
-			rec.Mechanisms = append(rec.Mechanisms, m)
+			mechs = append(mechs, m)
 		}
 	}
 	if inst.Kernel.Mem().CorrectedErrors > 0 {
-		rec.Mechanisms = append(rec.Mechanisms, "ecc")
+		mechs = append(mechs, "ecc")
 	}
-	sort.Strings(rec.Mechanisms)
+	sort.Strings(mechs)
+	scratch.mechs = mechs
+	if len(mechs) > 0 {
+		rec.Mechanisms = make([]string, len(mechs))
+		copy(rec.Mechanisms, mechs)
+	}
 
 	rec.Outcome = classify(inst, golden, undetectedKernel)
 	return rec, nil

@@ -207,9 +207,10 @@ func BenchmarkCampaignTrial(b *testing.B) {
 	rng := des.NewRand(1)
 	cfg := CampaignConfig{Trials: 1}
 	cfg.applyDefaults()
+	var scratch trialScratch
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := runTrial(w, cfg, rng, golden); err != nil {
+		if _, err := runTrial(w, cfg, rng, golden, &scratch); err != nil {
 			b.Fatal(err)
 		}
 	}

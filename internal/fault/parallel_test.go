@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCampaignParallelDeterminism is the contract of the parallel
+// executor: a campaign with Parallelism 8 must produce a Result
+// bit-identical to Parallelism 1 for the same seed — same trial order,
+// same per-trial records, same tallies, same estimates.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	seq, err := Run(w, CampaignConfig{Trials: 120, Seed: 42, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(w, CampaignConfig{Trials: 120, Seed: 42, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Trials) != len(par.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(seq.Trials), len(par.Trials))
+	}
+	for i := range seq.Trials {
+		if !reflect.DeepEqual(seq.Trials[i], par.Trials[i]) {
+			t.Fatalf("trial %d diverged:\nseq: %+v\npar: %+v", i, seq.Trials[i], par.Trials[i])
+		}
+	}
+	// Everything except the configured parallelism must match exactly.
+	par.Config.Parallelism = seq.Config.Parallelism
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("aggregate results diverged:\nseq: %+v %v %v %v\npar: %+v %v %v %v",
+			seq.Counts, seq.CD, seq.PT, seq.POM, par.Counts, par.CD, par.PT, par.POM)
+	}
+}
+
+// TestCampaignParallelismDefaults: zero and negative parallelism select
+// GOMAXPROCS, and an over-provisioned pool (more workers than trials)
+// still classifies every trial once.
+func TestCampaignParallelismDefaults(t *testing.T) {
+	var cfg CampaignConfig
+	cfg.applyDefaults()
+	if cfg.Parallelism < 1 {
+		t.Errorf("default parallelism = %d, want >= 1", cfg.Parallelism)
+	}
+	w := NewStdWorkload(StdWorkloadConfig{})
+	res, err := Run(w, CampaignConfig{Trials: 3, Seed: 9, Parallelism: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("classified %d of 3 trials", total)
+	}
+}
+
+// TestKernelHitClassification pins the kernel-hit branch semantics that
+// the (previously ambiguous) precedence at the injection callback
+// encodes: a modelled kernel hit is forced fail-silent only when the
+// kernel's own EDMs detect it; an undetected modelled kernel hit is a
+// non-covered error and classifies as a value failure.
+func TestKernelHitClassification(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+
+	// Every fault is a modelled kernel hit and every hit is detected:
+	// all trials must end fail-silent, attributed to the kernel.
+	det, err := Run(w, CampaignConfig{
+		Trials: 30, Seed: 5, KernelShare: 1.0, KernelDetect: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Counts[FailSilent] != 30 {
+		t.Errorf("detected kernel hits: fail-silent = %d, want 30: %v",
+			det.Counts[FailSilent], det.Counts)
+	}
+	for i, rec := range det.Trials {
+		if !rec.Kernel {
+			t.Fatalf("trial %d not marked as kernel hit", i)
+		}
+	}
+
+	// Every fault is a modelled kernel hit and none is detected (the
+	// KernelDetect probability is effectively zero; literal zero selects
+	// the default): all trials are non-covered kernel errors, which the
+	// paper treats pessimistically as (potential) value failures.
+	undet, err := Run(w, CampaignConfig{
+		Trials: 30, Seed: 5, KernelShare: 1.0, KernelDetect: 1e-300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undet.Counts[ValueFailure] != 30 {
+		t.Errorf("undetected kernel hits: value failures = %d, want 30: %v",
+			undet.Counts[ValueFailure], undet.Counts)
+	}
+	if undet.CD.P != 0 {
+		t.Errorf("C_D = %v for undetected kernel faults, want 0", undet.CD)
+	}
+}

@@ -246,6 +246,190 @@ func (c *Chain) TransientUniform(p0 []float64, t, eps float64) ([]float64, error
 	return out, nil
 }
 
+// maxSharedUniformQt bounds the uniformization rate·t product up to
+// which the shared-vector series fallback is cheaper than pointwise
+// matrix exponentials.
+const maxSharedUniformQt = 50_000
+
+// TransientSeries returns the state distribution at each of the given
+// times (hours, finite, non-negative and non-decreasing), starting from
+// p0. It is equivalent to calling Transient once per point but shares
+// work across the series:
+//
+//   - On a uniform grid t_i = t_0 + i·Δt it computes E = e^{Q·Δt} once
+//     and propagates p ← p·E per step — one Expm plus one vector-matrix
+//     product per point instead of one Expm per point.
+//   - On a non-uniform grid it uses uniformization with the power
+//     vectors p0·Pᵏ computed once and shared across all points (only the
+//     Poisson weights differ per point), when the chain's stiffness
+//     allows; otherwise it falls back to pointwise Transient.
+func (c *Chain) TransientSeries(p0 []float64, times []float64) ([][]float64, error) {
+	if err := c.checkDist(p0); err != nil {
+		return nil, err
+	}
+	for i, t := range times {
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("markov: invalid horizon %v at index %d", t, i)
+		}
+		if i > 0 && t < times[i-1] {
+			return nil, fmt.Errorf("markov: times not non-decreasing at index %d (%v < %v)", i, t, times[i-1])
+		}
+	}
+	if len(times) == 0 {
+		return nil, nil
+	}
+	out := make([][]float64, len(times))
+	if dt, ok := uniformStep(times); ok {
+		p, err := c.Transient(p0, times[0])
+		if err != nil {
+			return nil, err
+		}
+		out[0] = p
+		if len(times) == 1 {
+			return out, nil
+		}
+		if dt == 0 {
+			for i := 1; i < len(times); i++ {
+				cp := make([]float64, len(p))
+				copy(cp, p)
+				out[i] = cp
+			}
+			return out, nil
+		}
+		e, err := linalg.Expm(c.q.Scale(dt))
+		if err != nil {
+			return nil, fmt.Errorf("markov: transient series step: %w", err)
+		}
+		// Re-anchor with a fresh direct solve every few steps: repeated
+		// p·E multiplication accumulates the single-step error of E
+		// linearly, and on stiff generators (many squarings inside Expm)
+		// that drift would exceed 1e-10 after a few hundred steps.
+		const anchorEvery = 32
+		for i := 1; i < len(times); i++ {
+			if i%anchorEvery == 0 {
+				p, err = c.Transient(p0, times[i])
+				if err != nil {
+					return nil, err
+				}
+				out[i] = p
+				continue
+			}
+			p = e.VecMul(p)
+			clampDist(p)
+			out[i] = p
+		}
+		return out, nil
+	}
+	if ps, ok, err := c.transientSeriesUniform(p0, times, 1e-12); err != nil {
+		return nil, err
+	} else if ok {
+		return ps, nil
+	}
+	for i, t := range times {
+		p, err := c.Transient(p0, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// uniformStep reports whether the grid is (numerically) uniform and, if
+// so, its step. A single point counts as uniform.
+func uniformStep(times []float64) (float64, bool) {
+	if len(times) < 2 {
+		return 0, true
+	}
+	dt := times[1] - times[0]
+	tol := 1e-9 * math.Max(math.Abs(dt), math.Abs(times[len(times)-1])*1e-6)
+	if tol == 0 {
+		tol = 1e-18
+	}
+	for i := 2; i < len(times); i++ {
+		if math.Abs((times[i]-times[i-1])-dt) > tol {
+			return 0, false
+		}
+	}
+	return dt, true
+}
+
+// transientSeriesUniform evaluates the whole series with one shared
+// uniformization sweep: the vectors p0·Pᵏ are computed once and each
+// point accumulates them under its own running Poisson weights. It
+// reports ok=false when the chain is too stiff for the sweep to beat
+// pointwise matrix exponentials.
+func (c *Chain) transientSeriesUniform(p0, times []float64, eps float64) ([][]float64, bool, error) {
+	n := len(c.names)
+	qmax := 0.0
+	for i := 0; i < n; i++ {
+		if v := -c.q.At(i, i); v > qmax {
+			qmax = v
+		}
+	}
+	if qmax == 0 {
+		out := make([][]float64, len(times))
+		for i := range out {
+			cp := make([]float64, n)
+			copy(cp, p0)
+			out[i] = cp
+		}
+		return out, true, nil
+	}
+	rate := qmax * 1.02
+	qtMax := rate * times[len(times)-1]
+	if qtMax > maxSharedUniformQt {
+		return nil, false, nil
+	}
+	p := linalg.Identity(n).Plus(c.q.Scale(1 / rate))
+	out := make([][]float64, len(times))
+	logW := make([]float64, len(times))
+	cum := make([]float64, len(times))
+	qts := make([]float64, len(times))
+	for i, t := range times {
+		out[i] = make([]float64, n)
+		qts[i] = rate * t
+		logW[i] = -qts[i] // log Poisson(qt, 0)
+	}
+	vec := make([]float64, n)
+	copy(vec, p0)
+	for k := 0; ; k++ {
+		done := true
+		for i := range times {
+			w := math.Exp(logW[i])
+			if w > 0 {
+				oi := out[i]
+				for j, v := range vec {
+					oi[j] += w * v
+				}
+				cum[i] += w
+			}
+			if !(1-cum[i] < eps && float64(k) > qts[i]) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if float64(k) > qtMax+40*math.Sqrt(qtMax)+100 {
+			return nil, false, fmt.Errorf("markov: shared uniformization failed to converge at k=%d", k)
+		}
+		vec = p.VecMul(vec)
+		for i := range times {
+			logW[i] += math.Log(qts[i]) - math.Log(float64(k+1))
+		}
+	}
+	for i := range out {
+		if cum[i] > 0 {
+			for j := range out[i] {
+				out[i][j] /= cum[i]
+			}
+		}
+		clampDist(out[i])
+	}
+	return out, true, nil
+}
+
 // Absorbing reports the names of states with no outgoing transitions.
 func (c *Chain) Absorbing() []string {
 	var out []string

@@ -1,0 +1,246 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// stiffTestChain builds a paper-style stiff chain: repair ~10³/h against
+// fault rates ~10⁻⁴/h.
+func stiffTestChain(t testing.TB) *Chain {
+	b := NewBuilder()
+	b.Rate("0", "1", 2*1.8e-4)
+	b.Rate("1", "0", 1.2e3)
+	b.Rate("0", "F", 3.6e-7)
+	b.Rate("1", "F", 2.0e-4)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mildTestChain builds a chain whose rates permit uniformization over the
+// whole grid.
+func mildTestChain(t testing.TB) *Chain {
+	b := NewBuilder()
+	b.Rate("up", "down", 0.4)
+	b.Rate("down", "up", 1.5)
+	b.Rate("up", "dead", 0.05)
+	b.Rate("down", "dead", 0.2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTransientSeriesMatchesPointwiseUniform: on a uniform grid of
+// hundreds of points (the Figure 12 shape), the shared-expm propagation
+// must agree with pointwise Transient to 1e-10. The chain is moderately
+// stiff (q·t ≈ 9·10⁴ over the year) — stiff enough to exercise scaling
+// and squaring, mild enough that the pointwise reference itself is
+// trustworthy at this tolerance (see the extreme-stiffness test below).
+func TestTransientSeriesMatchesPointwiseUniform(t *testing.T) {
+	b := NewBuilder()
+	b.Rate("0", "1", 2*1.8e-4)
+	b.Rate("1", "0", 10) // repair within minutes: q·t ≈ 9·10⁴ at one year
+	b.Rate("0", "F", 3.6e-7)
+	b.Rate("1", "F", 2.0e-4)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := c.InitialAt("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const points = 501
+	times := make([]float64, points)
+	for i := range times {
+		times[i] = 8760 * float64(i) / float64(points-1)
+	}
+	series, err := c.TransientSeries(p0, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		ref, err := c.Transient(p0, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if d := math.Abs(series[i][j] - ref[j]); d > 1e-10 {
+				t.Fatalf("t=%v state %d: series %v vs pointwise %v (|Δ|=%.3g)",
+					tm, j, series[i][j], ref[j], d)
+			}
+		}
+	}
+}
+
+// TestTransientSeriesExtremeStiffness: with the paper's repair rate
+// (μ_R ≈ 1.2·10³/h) the one-year grid has q·t ≈ 10⁷, where pointwise
+// Transient is itself only self-consistent to ~2·10⁻¹⁰ (consecutive
+// points disagree with their own one-step expm relation by that much, a
+// floor set by squaring error inside Expm). The series must stay within
+// a small multiple of that reference noise.
+func TestTransientSeriesExtremeStiffness(t *testing.T) {
+	c := stiffTestChain(t)
+	p0, err := c.InitialAt("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const points = 501
+	times := make([]float64, points)
+	for i := range times {
+		times[i] = 8760 * float64(i) / float64(points-1)
+	}
+	series, err := c.TransientSeries(p0, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		ref, err := c.Transient(p0, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if d := math.Abs(series[i][j] - ref[j]); d > 2e-9 {
+				t.Fatalf("t=%v state %d: series %v vs pointwise %v (|Δ|=%.3g)",
+					tm, j, series[i][j], ref[j], d)
+			}
+		}
+	}
+}
+
+// TestTransientSeriesMatchesPointwiseNonUniform exercises the shared
+// uniformization fallback on a log-spaced grid.
+func TestTransientSeriesMatchesPointwiseNonUniform(t *testing.T) {
+	c := mildTestChain(t)
+	p0, err := c.InitialAt("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0, 0.1, 0.3, 1, 3, 10, 30, 100}
+	series, err := c.TransientSeries(p0, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		ref, err := c.Transient(p0, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if d := math.Abs(series[i][j] - ref[j]); d > 1e-10 {
+				t.Fatalf("t=%v state %d: series %v vs pointwise %v (|Δ|=%.3g)",
+					tm, j, series[i][j], ref[j], d)
+			}
+		}
+	}
+}
+
+// TestTransientSeriesStiffNonUniform: a non-uniform grid on a stiff chain
+// exceeds the uniformization budget and must fall back to pointwise
+// solves — still correct, just not shared.
+func TestTransientSeriesStiffNonUniform(t *testing.T) {
+	c := stiffTestChain(t)
+	p0, err := c.InitialAt("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0, 1, 10, 100, 1000, 8760}
+	series, err := c.TransientSeries(p0, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		ref, err := c.Transient(p0, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if d := math.Abs(series[i][j] - ref[j]); d > 1e-10 {
+				t.Fatalf("t=%v state %d: |Δ|=%.3g", tm, j, d)
+			}
+		}
+	}
+}
+
+// TestTransientSeriesEdgeCases: empty and single-point grids, repeated
+// instants, and validation of malformed input.
+func TestTransientSeriesEdgeCases(t *testing.T) {
+	c := mildTestChain(t)
+	p0, err := c.InitialAt("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := c.TransientSeries(p0, nil); err != nil || out != nil {
+		t.Errorf("empty grid: %v, %v", out, err)
+	}
+	one, err := c.TransientSeries(p0, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Transient(p0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref {
+		if math.Abs(one[0][j]-ref[j]) > 1e-12 {
+			t.Errorf("single point mismatch at state %d", j)
+		}
+	}
+	same, err := c.TransientSeries(p0, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(same); i++ {
+		for j := range same[i] {
+			if same[i][j] != same[0][j] {
+				t.Errorf("repeated instants differ at %d", i)
+			}
+		}
+	}
+	if _, err := c.TransientSeries(p0, []float64{1, 0.5}); err == nil {
+		t.Error("decreasing grid accepted")
+	}
+	if _, err := c.TransientSeries(p0, []float64{-1}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := c.TransientSeries(p0, []float64{math.NaN()}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := c.TransientSeries([]float64{2, -1, 0}, []float64{1}); err == nil {
+		t.Error("invalid distribution accepted")
+	}
+}
+
+// TestTransientSeriesDistributionProperty: every point of the series is a
+// probability distribution.
+func TestTransientSeriesDistributionProperty(t *testing.T) {
+	for _, chain := range []*Chain{stiffTestChain(t), mildTestChain(t)} {
+		p0 := make([]float64, chain.NumStates())
+		p0[0] = 1
+		times := make([]float64, 64)
+		for i := range times {
+			times[i] = 100 * float64(i) / 63
+		}
+		series, err := chain.TransientSeries(p0, times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range series {
+			sum := 0.0
+			for _, v := range p {
+				if v < 0 || v > 1 {
+					t.Fatalf("point %d: probability %v out of range", i, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("point %d: mass %v", i, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sharpe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faulttree"
+	"repro/internal/markov"
+)
+
+func repairChain(t *testing.T) *markov.Chain {
+	t.Helper()
+	b := markov.NewBuilder()
+	b.Rate("up", "down", 2e-3)
+	b.Rate("down", "up", 0.5)
+	b.Rate("up", "F", 1e-4)
+	b.Rate("down", "F", 5e-3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCTMCReliabilitySeriesMatchesPointwise: the series evaluation of a
+// CTMC model must agree with its pointwise evaluation.
+func TestCTMCReliabilitySeriesMatchesPointwise(t *testing.T) {
+	m, err := NewCTMC("m", repairChain(t), "up", []string{"F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, 101)
+	for i := range times {
+		times[i] = 5000 * float64(i) / 100
+	}
+	series, err := m.ReliabilitySeries(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh model so pointwise evaluation cannot hit the series memo.
+	ref, err := NewCTMC("ref", repairChain(t), "up", []string{"F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		r, err := ref.Reliability(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(series[i]-r) > 1e-10 {
+			t.Fatalf("t=%v: series %v vs pointwise %v", tm, series[i], r)
+		}
+	}
+}
+
+// TestCTMCMemoization: repeated evaluation at one instant hits the memo
+// and returns exactly the same value.
+func TestCTMCMemoization(t *testing.T) {
+	m, err := NewCTMC("m", repairChain(t), "up", []string{"F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.Reliability(123.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.memo.get(123.5); !ok {
+		t.Fatal("memo not populated after Reliability")
+	}
+	r2, err := m.Reliability(123.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("memoized value differs: %v vs %v", r1, r2)
+	}
+}
+
+// TestSystemReliabilitySeriesComposite: series evaluation of a fault-tree
+// composite must match pointwise evaluation on a fresh, unwarmed system.
+func TestSystemReliabilitySeriesComposite(t *testing.T) {
+	build := func() *System {
+		sys := NewSystem()
+		cu, err := NewCTMC("cu", repairChain(t), "up", []string{"F"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Add(cu); err != nil {
+			t.Fatal(err)
+		}
+		q, err := sys.Unreliability("cu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := faulttree.New(faulttree.OR(
+			faulttree.NewEvent("cu-fails", q),
+			faulttree.ExponentialEvent("bus-fails", 1e-5),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Add(NewFaultTree("top", tree, 1e4)); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	times := make([]float64, 51)
+	for i := range times {
+		times[i] = 8760 * float64(i) / 50
+	}
+	series, err := build().ReliabilitySeries("top", times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := build()
+	for i, tm := range times {
+		m, err := ref.Model("top")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Reliability(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(series[i]-r) > 1e-10 {
+			t.Fatalf("t=%v: composite series %v vs pointwise %v", tm, series[i], r)
+		}
+	}
+	if _, err := build().ReliabilitySeries("nope", times); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestCurveUsesSharedSeries: Curve must produce the same samples as
+// before the series rewiring.
+func TestCurveUsesSharedSeries(t *testing.T) {
+	sys := NewSystem()
+	m, err := NewCTMC("m", repairChain(t), "up", []string{"F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sys.Curve("m", 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	ref, err := NewCTMC("ref", repairChain(t), "up", []string{"F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		r, err := ref.Reliability(pt.Hours)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pt.R-r) > 1e-10 {
+			t.Errorf("curve at %v h: %v vs %v", pt.Hours, pt.R, r)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/faulttree"
 	"repro/internal/markov"
@@ -33,6 +34,46 @@ type Model interface {
 	MTTF() (float64, error)
 }
 
+// SeriesEvaluator is implemented by models that can evaluate R(t) over a
+// whole time grid more cheaply than pointwise calls (e.g. a CTMC that
+// solves one matrix exponential for a uniform grid and propagates it).
+type SeriesEvaluator interface {
+	// ReliabilitySeries returns R(t) for each time (hours, finite,
+	// non-negative and non-decreasing).
+	ReliabilitySeries(times []float64) ([]float64, error)
+}
+
+// memoCap bounds each model's R(t) memo so long-lived systems evaluated
+// at many distinct times cannot grow without bound.
+const memoCap = 1 << 14
+
+// rmemo memoizes R(t) evaluations keyed by t. Hierarchical models bind
+// sub-models through closures evaluated pointwise, so without the memo a
+// shared subtree is re-solved for every composite evaluation at the same
+// instant. It is safe for concurrent use.
+type rmemo struct {
+	mu sync.Mutex
+	m  map[float64]float64
+}
+
+func (c *rmemo) get(t float64) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[t]
+	return v, ok
+}
+
+func (c *rmemo) put(t, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[float64]float64)
+	}
+	if len(c.m) < memoCap {
+		c.m[t] = v
+	}
+}
+
 // CTMCModel solves a Markov chain for reliability: R(t) is the probability
 // of not being in any designated failure state at time t.
 type CTMCModel struct {
@@ -40,6 +81,7 @@ type CTMCModel struct {
 	chain   *markov.Chain
 	initial []float64
 	fail    []string
+	memo    rmemo
 }
 
 var _ Model = (*CTMCModel)(nil)
@@ -72,8 +114,13 @@ func (m *CTMCModel) Kind() string { return "markov" }
 // Chain exposes the underlying chain (for state-probability reports).
 func (m *CTMCModel) Chain() *markov.Chain { return m.chain }
 
-// Reliability implements Model by transient CTMC solution.
+// Reliability implements Model by transient CTMC solution. Evaluations
+// are memoized by t, so hierarchical models that bind this chain into
+// several composites do not re-solve it at instants already computed.
 func (m *CTMCModel) Reliability(hours float64) (float64, error) {
+	if r, ok := m.memo.get(hours); ok {
+		return r, nil
+	}
 	p, err := m.chain.Transient(m.initial, hours)
 	if err != nil {
 		return 0, fmt.Errorf("sharpe: model %q: %w", m.name, err)
@@ -82,8 +129,32 @@ func (m *CTMCModel) Reliability(hours float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("sharpe: model %q: %w", m.name, err)
 	}
+	m.memo.put(hours, 1-q)
 	return 1 - q, nil
 }
+
+// ReliabilitySeries implements SeriesEvaluator with one shared transient
+// solve over the whole grid (see markov.Chain.TransientSeries). Each
+// point is stored in the memo, so composites that subsequently evaluate
+// this model pointwise at the same instants hit the cache.
+func (m *CTMCModel) ReliabilitySeries(times []float64) ([]float64, error) {
+	ps, err := m.chain.TransientSeries(m.initial, times)
+	if err != nil {
+		return nil, fmt.Errorf("sharpe: model %q: %w", m.name, err)
+	}
+	out := make([]float64, len(times))
+	for i, p := range ps {
+		q, err := m.chain.ProbIn(p, m.fail...)
+		if err != nil {
+			return nil, fmt.Errorf("sharpe: model %q: %w", m.name, err)
+		}
+		out[i] = 1 - q
+		m.memo.put(times[i], out[i])
+	}
+	return out, nil
+}
+
+var _ SeriesEvaluator = (*CTMCModel)(nil)
 
 // MTTF implements Model as mean time to absorption in the failure states.
 func (m *CTMCModel) MTTF() (float64, error) {
@@ -130,6 +201,7 @@ type FTModel struct {
 	name     string
 	tree     *faulttree.Tree
 	mttfHint float64
+	memo     rmemo
 }
 
 var _ Model = (*FTModel)(nil)
@@ -149,9 +221,18 @@ func (m *FTModel) Kind() string { return "ftree" }
 // Tree exposes the underlying fault tree.
 func (m *FTModel) Tree() *faulttree.Tree { return m.tree }
 
-// Reliability implements Model.
+// Reliability implements Model. Evaluations are memoized by t; the
+// tree's basic events typically bind other models, so repeated
+// evaluation at one instant would otherwise re-solve the whole subtree.
 func (m *FTModel) Reliability(hours float64) (float64, error) {
-	return m.tree.Reliability(hours), nil
+	if r, ok := m.memo.get(hours); ok {
+		return r, nil
+	}
+	r := m.tree.Reliability(hours)
+	if !math.IsNaN(r) {
+		m.memo.put(hours, r)
+	}
+	return r, nil
 }
 
 // MTTF implements Model by numeric quadrature of R(t).
@@ -240,24 +321,58 @@ type SeriesPoint struct {
 	R     float64
 }
 
-// Curve samples the named model's reliability at n+1 evenly spaced points
-// over [0, horizon] hours.
-func (s *System) Curve(name string, horizon float64, n int) ([]SeriesPoint, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("sharpe: curve with %d intervals", n)
-	}
+// ReliabilitySeries evaluates the named model at every time of the grid
+// (hours, non-decreasing). Models that implement SeriesEvaluator are
+// evaluated with one shared solve; for composites, every registered
+// series-capable sub-model is series-evaluated first (warming its memo),
+// so the pointwise composite evaluation reduces to cache lookups instead
+// of one transient solve per sub-model per point.
+func (s *System) ReliabilitySeries(name string, times []float64) ([]float64, error) {
 	m, err := s.Model(name)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SeriesPoint, 0, n+1)
-	for i := 0; i <= n; i++ {
-		h := horizon * float64(i) / float64(n)
-		r, err := m.Reliability(h)
+	if se, ok := m.(SeriesEvaluator); ok {
+		return se.ReliabilitySeries(times)
+	}
+	for _, n := range s.order {
+		if n == name {
+			continue
+		}
+		if se, ok := s.models[n].(SeriesEvaluator); ok {
+			if _, err := se.ReliabilitySeries(times); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]float64, len(times))
+	for i, t := range times {
+		r, err := m.Reliability(t)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, SeriesPoint{Hours: h, R: r})
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Curve samples the named model's reliability at n+1 evenly spaced points
+// over [0, horizon] hours, sharing transient solves across the grid.
+func (s *System) Curve(name string, horizon float64, n int) ([]SeriesPoint, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sharpe: curve with %d intervals", n)
+	}
+	times := make([]float64, n+1)
+	for i := range times {
+		times[i] = horizon * float64(i) / float64(n)
+	}
+	rs, err := s.ReliabilitySeries(name, times)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SeriesPoint, n+1)
+	for i := range times {
+		out[i] = SeriesPoint{Hours: times[i], R: rs[i]}
 	}
 	return out, nil
 }
