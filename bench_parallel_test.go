@@ -106,7 +106,10 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			w := fault.NewStdWorkload(fault.StdWorkloadConfig{ECC: true})
-			cfg := fault.CampaignConfig{Trials: trials, Seed: 42, Parallelism: workers}
+			// Telemetry on: the acceptance bar is that the metrics layer
+			// stays within noise of the pre-observability baseline.
+			cfg := fault.CampaignConfig{Trials: trials, Seed: 42, Parallelism: workers,
+				Telemetry: true}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	nlft "repro"
+	"repro/internal/obs"
 )
 
 // injections accumulates repeated -inject flags.
@@ -84,17 +85,19 @@ func main() {
 	kind := flag.String("kind", "nlft", "node kind: nlft or fs")
 	speed := flag.Float64("speed", 30, "initial vehicle speed in m/s")
 	duration := flag.Duration("duration", 12*time.Second, "maximum simulated duration")
+	traceOut := flag.String("trace-out", "", "write the per-node structured event stream as JSONL")
+	metricsOut := flag.String("metrics-out", "", "write the merged per-node metrics registry (JSON, or CSV if the name ends in .csv)")
 	var inj injections
 	flag.Var(&inj, "inject", "fault injection t:node:kind[:args] (repeatable)")
 	flag.Parse()
 
-	if err := run(*kind, *speed, *duration, inj); err != nil {
+	if err := run(*kind, *speed, *duration, inj, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "bbwsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kindName string, speed float64, duration time.Duration, inj injections) error {
+func run(kindName string, speed float64, duration time.Duration, inj injections, traceOut, metricsOut string) error {
 	var kind nlft.NodeKind
 	switch strings.ToLower(kindName) {
 	case "nlft":
@@ -104,10 +107,18 @@ func run(kindName string, speed float64, duration time.Duration, inj injections)
 	default:
 		return fmt.Errorf("unknown node kind %q", kindName)
 	}
+	var col *obs.Collector
+	if traceOut != "" || metricsOut != "" {
+		col = obs.NewCollector("")
+		if traceOut == "" {
+			col.SetEventLimit(-1) // metrics only
+		}
+	}
 	res, err := nlft.RunScenario(nlft.Scenario{
 		Config: nlft.SystemConfig{
 			Kind:         kind,
 			InitialSpeed: speed,
+			Obs:          col,
 		},
 		Duration:   nlft.Time(duration.Nanoseconds()),
 		Injections: inj,
@@ -147,5 +158,18 @@ func run(kindName string, speed float64, duration time.Duration, inj injections)
 	}
 	fmt.Printf("bus: %d frames delivered, %d corrupted, %d slots skipped\n",
 		res.Bus.FramesDelivered, res.Bus.FramesCorrupted, res.Bus.SlotsSkipped)
+
+	if traceOut != "" {
+		if err := obs.WriteEventsFile(traceOut, col.Events()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(col.Events()), traceOut)
+	}
+	if metricsOut != "" {
+		if err := col.Registry().WriteMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsOut)
+	}
 	return nil
 }

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	faultcampaign [-trials N] [-seed S] [-ecc] [-compute N] [-targets list]
-//	              [-parallel N] [-cpuprofile file]
+//	              [-parallel N] [-cpuprofile file] [-progress]
+//	              [-metrics-out file] [-trace-out file]
+//
+// -metrics-out enables campaign telemetry and exports the merged metrics
+// registry (JSON, or CSV if the name ends in .csv); the per-mechanism
+// detection counts in it reproduce the campaign's coverage table.
+// -trace-out additionally retains each trial's structured event stream
+// and exports the merged JSONL (trial 0 is the fault-free golden run).
 package main
 
 import (
@@ -14,10 +21,12 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	nlft "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +38,9 @@ func main() {
 	derive := flag.Bool("derive", false, "also derive model parameters and print the headline comparison")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the campaign (0 = GOMAXPROCS); results are identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	metricsOut := flag.String("metrics-out", "", "export the merged metrics registry (JSON, or CSV if the name ends in .csv)")
+	traceOut := flag.String("trace-out", "", "export the merged per-trial event stream as JSONL (trial 0 = golden run)")
+	progress := flag.Bool("progress", false, "report live trial progress on stderr")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -44,11 +56,23 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel); err != nil {
+	opts := outputOptions{
+		MetricsOut: *metricsOut,
+		TraceOut:   *traceOut,
+		Progress:   *progress,
+	}
+	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel, opts); err != nil {
 		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 		os.Exit(1)
 	}
+}
+
+// outputOptions bundles the telemetry-related flags.
+type outputOptions struct {
+	MetricsOut string
+	TraceOut   string
+	Progress   bool
 }
 
 func parseTargets(spec string) ([]fault.Target, error) {
@@ -70,13 +94,30 @@ func parseTargets(spec string) ([]fault.Target, error) {
 	return out, nil
 }
 
-func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, derive bool, parallel int) error {
+func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, derive bool, parallel int, opts outputOptions) error {
 	targets, err := parseTargets(targetsFlag)
 	if err != nil {
 		return err
 	}
 	w := nlft.NewStdWorkload(nlft.StdWorkloadConfig{ECC: ecc, Compute: compute})
-	cfg := nlft.CampaignConfig{Trials: trials, Seed: seed, Targets: targets, Parallelism: parallel}
+	cfg := nlft.CampaignConfig{
+		Trials: trials, Seed: seed, Targets: targets, Parallelism: parallel,
+		Telemetry:       opts.MetricsOut != "",
+		TelemetryEvents: opts.TraceOut != "",
+	}
+	if opts.Progress {
+		lastPct := -1
+		cfg.OnProgress = func(done, total int) {
+			pct := done * 100 / total
+			if pct/5 > lastPct/5 || done == total {
+				fmt.Fprintf(os.Stderr, "\rprogress: %d/%d trials (%d%%)", done, total, pct)
+				lastPct = pct
+			}
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	res, err := nlft.RunCampaign(w, cfg)
 	if err != nil {
 		return err
@@ -95,6 +136,35 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 			fmt.Printf(" %s=%d", o, counts[o])
 		}
 		fmt.Println()
+	}
+
+	if res.Metrics != nil {
+		// Per-mechanism detection counts recomputed from the metrics
+		// registry alone — the same numbers as the "detected by" rows
+		// above, proving Table 1 is regenerable from exported metrics.
+		byMech := res.Metrics.MechanismCounts("campaign.detected_by")
+		mechs := make([]string, 0, len(byMech))
+		for m := range byMech {
+			mechs = append(mechs, m)
+		}
+		sort.Strings(mechs)
+		fmt.Println("\nmechanism coverage (from metrics registry):")
+		for _, m := range mechs {
+			fmt.Printf("  %-18s %6d\n", m+":", byMech[m])
+		}
+	}
+	if opts.MetricsOut != "" {
+		if err := res.Metrics.WriteMetricsFile(opts.MetricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote metrics to %s\n", opts.MetricsOut)
+	}
+	if opts.TraceOut != "" {
+		events := append(append([]obs.Event{}, res.GoldenEvents...), res.Events...)
+		if err := obs.WriteEventsFile(opts.TraceOut, events); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(events), opts.TraceOut)
 	}
 
 	if derive {

@@ -3,15 +3,22 @@
 // trace for each: (i) fault-free double execution, (ii) an error caught
 // by the comparison, (iii)/(iv) errors caught by a hardware EDM in the
 // second/first copy with context restore and immediate re-execution.
+//
+// With -trace-out the structured event stream of all four scenarios
+// (each under its scenario label) is exported as JSONL; with
+// -metrics-out the merged metrics registry is exported as JSON (or CSV
+// when the filename ends in .csv).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cpu"
 	"repro/internal/des"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 const taskSrc = `
@@ -35,37 +42,50 @@ func (e *env) ReadInput(uint32) uint32     { return 0 }
 func (e *env) WriteOutput(_, value uint32) { e.delivered = append(e.delivered, value) }
 
 func main() {
-	if err := run(); err != nil {
+	traceOut := flag.String("trace-out", "", "write the structured event stream of all scenarios as JSONL")
+	metricsOut := flag.String("metrics-out", "", "write the merged metrics registry (JSON, or CSV if the name ends in .csv)")
+	flag.Parse()
+	if err := run(*traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "temtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(traceOut, metricsOut string) error {
 	prog, err := cpu.Assemble(taskSrc)
 	if err != nil {
 		return err
 	}
+	// One collector across all scenarios; each runs under its own node
+	// label so the exported stream distinguishes them.
+	var col *obs.Collector
+	if traceOut != "" || metricsOut != "" {
+		col = obs.NewCollector("")
+		if traceOut == "" {
+			col.SetEventLimit(-1) // metrics only
+		}
+	}
 	scenarios := []struct {
+		id     string
 		name   string
 		legend string
 		inject func(sim *des.Simulator, k *kernel.Kernel)
 	}{
-		{"(i) fault-free", "two copies, comparison matches, result delivered",
+		{"fig3-i", "(i) fault-free", "two copies, comparison matches, result delivered",
 			func(*des.Simulator, *kernel.Kernel) {}},
-		{"(ii) error detected by comparison", "register fault in copy 2; third copy and majority vote",
+		{"fig3-ii", "(ii) error detected by comparison", "register fault in copy 2; third copy and majority vote",
 			func(sim *des.Simulator, k *kernel.Kernel) {
 				sim.Schedule(120*des.Microsecond, des.PrioInject, func() {
 					k.Proc().FlipRegister(6, 7)
 				})
 			}},
-		{"(iii) error detected by EDM in copy 2", "PC fault traps; context restored from TCB; copy re-executed",
+		{"fig3-iii", "(iii) error detected by EDM in copy 2", "PC fault traps; context restored from TCB; copy re-executed",
 			func(sim *des.Simulator, k *kernel.Kernel) {
 				sim.Schedule(120*des.Microsecond, des.PrioInject, func() {
 					k.Proc().FlipPC(13)
 				})
 			}},
-		{"(iv) error detected by EDM in copy 1", "same, but the fault hits the first copy",
+		{"fig3-iv", "(iv) error detected by EDM in copy 1", "same, but the fault hits the first copy",
 			func(sim *des.Simulator, k *kernel.Kernel) {
 				sim.Schedule(40*des.Microsecond, des.PrioInject, func() {
 					k.Proc().FlipPC(13)
@@ -77,7 +97,9 @@ func run() error {
 		sim := des.New()
 		trace := &kernel.Trace{}
 		e := &env{}
-		k := kernel.New(sim, e, kernel.Config{Trace: trace})
+		scol := col.Labeled(sc.id)
+		obs.AttachSimulator(scol, sim)
+		k := kernel.New(sim, e, kernel.Config{Trace: trace, Obs: scol})
 		spec := kernel.TaskSpec{
 			Name:        "T",
 			Program:     prog,
@@ -105,6 +127,18 @@ func run() error {
 			fmt.Println("   ", ev)
 		}
 		fmt.Printf("    delivered: %v (expected [500500])\n\n", e.delivered)
+	}
+	if traceOut != "" {
+		if err := obs.WriteEventsFile(traceOut, col.Events()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(col.Events()), traceOut)
+	}
+	if metricsOut != "" {
+		if err := col.Registry().WriteMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsOut)
 	}
 	return nil
 }

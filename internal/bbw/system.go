@@ -7,6 +7,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/kernel"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/ttnet"
 )
 
@@ -96,6 +97,10 @@ type SystemConfig struct {
 	// PedalFn overrides the pedal profile; default is full braking from
 	// 100 ms.
 	PedalFn func(t des.Time) uint32
+	// Obs, when non-nil, collects telemetry from every node kernel (each
+	// under its node-name label, surviving restarts) and from the shared
+	// simulator.
+	Obs *obs.Collector
 }
 
 func (c *SystemConfig) applyDefaults() {
@@ -138,6 +143,9 @@ const (
 func NewSystem(cfg SystemConfig) (*System, error) {
 	cfg.applyDefaults()
 	sim := des.New()
+	if cfg.Obs != nil {
+		obs.AttachSimulator(cfg.Obs.Labeled("sim"), sim)
+	}
 	bus, err := ttnet.NewBus(sim, ttnet.Config{
 		StaticSlots: 6,
 		SlotLen:     des.Millisecond,
@@ -167,6 +175,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 				UseMMU:            true,
 				ECC:               true,
 				FailSilentOnError: failSilentOnError,
+				Obs:               cfg.Obs.Labeled(name),
 			})
 			spec := kernel.TaskSpec{
 				Name:        name + "-ctrl",

@@ -133,7 +133,17 @@ type Simulator struct {
 	stopped bool
 	// fired counts events executed, exposed for tests and benchmarks.
 	fired uint64
+	// onEvent, when non-nil, observes every event execution (telemetry).
+	onEvent func(at Time, prio int)
 }
+
+// SetEventObserver installs fn to be called immediately before every
+// event callback runs, with the event's instant and tie-break priority.
+// Passing nil detaches the observer. The observability layer
+// (internal/obs) uses this to count fired events per priority band and
+// track queue depth; when detached the cost is a single nil check per
+// event.
+func (s *Simulator) SetEventObserver(fn func(at Time, prio int)) { s.onEvent = fn }
 
 // New returns a simulator with the clock at 0.
 func New() *Simulator { return &Simulator{} }
@@ -196,6 +206,9 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.at
 		s.fired++
+		if s.onEvent != nil {
+			s.onEvent(e.at, e.prio)
+		}
 		e.fn()
 		return true
 	}

@@ -1,0 +1,65 @@
+package des
+
+import "testing"
+
+// TestEventObserver: the observer sees every fired event with its
+// instant and priority, in execution order, and detaching stops the
+// callbacks.
+func TestEventObserver(t *testing.T) {
+	s := New()
+	type fired struct {
+		at   Time
+		prio int
+	}
+	var seen []fired
+	s.SetEventObserver(func(at Time, prio int) {
+		seen = append(seen, fired{at, prio})
+	})
+	s.Schedule(2, PrioKernel, func() {})
+	s.Schedule(1, PrioDispatch, func() {})
+	s.Schedule(1, PrioInject, func() {})
+	canceled := s.Schedule(3, PrioKernel, func() {})
+	s.Cancel(canceled)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []fired{{1, PrioInject}, {1, PrioDispatch}, {2, PrioKernel}}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d events, want %d: %v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+
+	s.SetEventObserver(nil)
+	s.Schedule(s.Now()+1, PrioKernel, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Error("detached observer still called")
+	}
+}
+
+// TestEventObserverSeesClockAdvanced: the observer runs after the clock
+// moved to the event's instant (so telemetry can read sim.Now()) and
+// before the callback body.
+func TestEventObserverSeesClockAdvanced(t *testing.T) {
+	s := New()
+	order := ""
+	s.SetEventObserver(func(at Time, prio int) {
+		if s.Now() != at {
+			t.Errorf("observer ran with clock %v, event at %v", s.Now(), at)
+		}
+		order += "o"
+	})
+	s.Schedule(5, PrioKernel, func() { order += "c" })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order != "oc" {
+		t.Errorf("order = %q, want observer before callback", order)
+	}
+}

@@ -1,14 +1,18 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/des"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -37,6 +41,27 @@ type CampaignConfig struct {
 	// (Seed, trial index) alone, so neither worker count nor scheduling
 	// order can perturb any trial.
 	Parallelism int
+
+	// Telemetry attaches an obs collector to every trial instance and
+	// merges the registries into Result.Metrics. Registry merges are
+	// commutative (counters and histograms add, gauges keep maxima), so
+	// the aggregate is identical for any Parallelism. The merged registry
+	// carries kernel counters/histograms plus campaign.* series (trials,
+	// outcomes, detected_by, kernel_hits) that let Table 1 coverage be
+	// recomputed from exported metrics alone.
+	Telemetry bool
+	// TelemetryEvents additionally retains each trial's structured event
+	// stream (up to EventsPerTrial records), merged in trial order into
+	// Result.Events with 1-based Trial tags, and records the fault-free
+	// golden run's stream in Result.GoldenEvents. Implies Telemetry.
+	TelemetryEvents bool
+	// EventsPerTrial caps the events retained per trial when
+	// TelemetryEvents is set. Default 512.
+	EventsPerTrial int
+	// OnProgress, when set, is called after every completed trial with
+	// the number of settled trials and the total. Calls are serialized,
+	// but arrive from worker goroutines in completion (not trial) order.
+	OnProgress func(done, total int)
 }
 
 func (c *CampaignConfig) applyDefaults() {
@@ -54,6 +79,12 @@ func (c *CampaignConfig) applyDefaults() {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.TelemetryEvents {
+		c.Telemetry = true
+	}
+	if c.EventsPerTrial == 0 {
+		c.EventsPerTrial = 512
 	}
 }
 
@@ -79,6 +110,18 @@ type Result struct {
 	ByTarget map[Target]map[Outcome]int
 	// Trials holds the individual records (in order).
 	Trials []TrialRecord
+
+	// Metrics is the campaign-wide telemetry registry (nil unless
+	// Config.Telemetry). Counters and histograms add and gauges keep
+	// maxima under merge, so the aggregate is identical for any
+	// Parallelism and merge order.
+	Metrics *obs.Registry
+	// Events is the merged structured event stream, in trial order with
+	// 1-based Trial tags (nil unless Config.TelemetryEvents).
+	Events []obs.Event
+	// GoldenEvents is the fault-free golden run's event stream (nil
+	// unless Config.TelemetryEvents).
+	GoldenEvents []obs.Event
 
 	// Estimates of the paper's parameters (§3.2.2), conditioned as the
 	// paper defines them: CD over activated faults; PT/POM/PFS over
@@ -171,10 +214,61 @@ func (t *tally) mergeInto(res *Result) {
 	}
 }
 
+// newInstance builds a trial instance, attaching the collector when the
+// workload supports observation.
+func newInstance(w Workload, col *obs.Collector) (*Instance, error) {
+	if col != nil {
+		if ow, ok := w.(ObservableWorkload); ok {
+			return ow.NewObserved(col)
+		}
+	}
+	return w.New()
+}
+
+// newTrialCollector builds a per-trial collector retaining up to
+// EventsPerTrial events. Used only when TelemetryEvents is set: the
+// event stream needs per-trial attribution and capping, so each trial
+// gets its own buffer. Metrics-only campaigns share one collector per
+// worker instead (the registry merge is commutative, so per-worker
+// aggregation is just as deterministic and far cheaper).
+func newTrialCollector(cfg *CampaignConfig) *obs.Collector {
+	col := obs.NewCollector("")
+	col.SetEventLimit(cfg.EventsPerTrial)
+	return col
+}
+
+// newWorkerCollector builds a metrics-only collector shared by all
+// trials of one worker.
+func newWorkerCollector() *obs.Collector {
+	col := obs.NewCollector("")
+	col.SetEventLimit(-1) // metrics only
+	return col
+}
+
+// recordTrialMetrics adds the campaign-level accounting for one settled
+// trial to its collector: these campaign.* series mirror the Result
+// tallies so Table 1 coverage is recomputable from exported metrics
+// (guarded by TestCampaignMetricsCrossCheck).
+func recordTrialMetrics(col *obs.Collector, rec *TrialRecord) {
+	if col == nil {
+		return
+	}
+	col.Counter("campaign.trials", "", "").Inc()
+	col.Counter("campaign.outcomes", "", rec.Outcome.String()).Inc()
+	if rec.Kernel {
+		col.Counter("campaign.kernel_hits", "", "").Inc()
+	}
+	for _, m := range rec.Mechanisms {
+		col.Counter("campaign.detected_by", "", m).Inc()
+	}
+}
+
 // Run executes the campaign on the workload. Trials are distributed over
 // cfg.Parallelism workers; each trial draws from its own RNG stream
 // derived from (Seed, trial index), so the result is bit-identical
-// whatever the worker count.
+// whatever the worker count. Campaign phases (golden run, trials, merge)
+// are labeled with pprof labels, so -cpuprofile output attributes time
+// per phase.
 func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 	cfg.applyDefaults()
 	if w == nil {
@@ -183,9 +277,18 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("fault: %d trials", cfg.Trials)
 	}
-	golden, err := goldenRun(w)
-	if err != nil {
-		return nil, err
+	var goldenCol *obs.Collector
+	if cfg.TelemetryEvents {
+		goldenCol = obs.NewCollector("")
+		goldenCol.SetEventLimit(cfg.EventsPerTrial)
+	}
+	var golden []Write
+	var goldenErr error
+	pprof.Do(context.Background(), pprof.Labels("campaign-phase", "golden-run"), func(context.Context) {
+		golden, goldenErr = goldenRun(w, goldenCol)
+	})
+	if goldenErr != nil {
+		return nil, goldenErr
 	}
 	if len(golden) == 0 {
 		return nil, fmt.Errorf("fault: golden run produced no outputs; workload broken")
@@ -198,35 +301,72 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 		ByTarget:    make(map[Target]map[Outcome]int),
 		Trials:      make([]TrialRecord, cfg.Trials),
 	}
+	if goldenCol != nil {
+		res.GoldenEvents = goldenCol.Events()
+	}
 	workers := cfg.Parallelism
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
+	// With TelemetryEvents, per-trial collectors land at their trial
+	// index, so the event merge below runs in trial order no matter which
+	// worker produced them. Metrics-only campaigns use one collector per
+	// worker: the registry merge is commutative, so the aggregate is
+	// unchanged, and the per-trial setup/merge cost disappears.
+	var collectors []*obs.Collector
+	if cfg.TelemetryEvents {
+		collectors = make([]*obs.Collector, cfg.Trials)
+	}
+	var workerCols []*obs.Collector
+	if cfg.Telemetry && !cfg.TelemetryEvents {
+		workerCols = make([]*obs.Collector, workers)
+	}
+	var progressMu sync.Mutex
+	progressDone := 0
 	tallies := make([]*tally, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wk := wk
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := newTally()
-			tallies[wk] = t
-			var scratch trialScratch
-			// Strided assignment: worker wk owns trials wk, wk+W, ….
-			// Each record lands at its own index, so the trial order of
-			// the Result is the sequential order regardless of workers.
-			for trial := wk; trial < cfg.Trials; trial += workers {
-				rng := des.NewRandIndexed(cfg.Seed, uint64(trial))
-				rec, err := runTrial(w, cfg, rng, golden, &scratch)
-				if err != nil {
-					errs[wk] = fmt.Errorf("fault: trial %d: %w", trial, err)
-					return
+		go pprof.Do(context.Background(),
+			pprof.Labels("campaign-phase", "trials", "campaign-worker", strconv.Itoa(wk)),
+			func(context.Context) {
+				defer wg.Done()
+				t := newTally()
+				tallies[wk] = t
+				var scratch trialScratch
+				var wcol *obs.Collector
+				if workerCols != nil {
+					wcol = newWorkerCollector()
+					workerCols[wk] = wcol
 				}
-				res.Trials[trial] = rec
-				t.record(&rec)
-			}
-		}()
+				// Strided assignment: worker wk owns trials wk, wk+W, ….
+				// Each record lands at its own index, so the trial order of
+				// the Result is the sequential order regardless of workers.
+				for trial := wk; trial < cfg.Trials; trial += workers {
+					rng := des.NewRandIndexed(cfg.Seed, uint64(trial))
+					col := wcol
+					if collectors != nil {
+						col = newTrialCollector(&cfg)
+						collectors[trial] = col
+					}
+					rec, err := runTrial(w, cfg, rng, golden, &scratch, col)
+					if err != nil {
+						errs[wk] = fmt.Errorf("fault: trial %d: %w", trial, err)
+						return
+					}
+					recordTrialMetrics(col, &rec)
+					res.Trials[trial] = rec
+					t.record(&rec)
+					if cfg.OnProgress != nil {
+						progressMu.Lock()
+						progressDone++
+						cfg.OnProgress(progressDone, cfg.Trials)
+						progressMu.Unlock()
+					}
+				}
+			})
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -234,9 +374,27 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 			return nil, err
 		}
 	}
-	for _, t := range tallies {
-		t.mergeInto(res)
-	}
+	pprof.Do(context.Background(), pprof.Labels("campaign-phase", "merge"), func(context.Context) {
+		for _, t := range tallies {
+			t.mergeInto(res)
+		}
+		if cfg.Telemetry {
+			reg := obs.NewRegistry()
+			for i, col := range collectors {
+				reg.Merge(col.Registry())
+				for _, e := range col.Events() {
+					e.Trial = i + 1
+					res.Events = append(res.Events, e)
+				}
+			}
+			for _, col := range workerCols {
+				if col != nil {
+					reg.Merge(col.Registry())
+				}
+			}
+			res.Metrics = reg
+		}
+	})
 	activated := res.Activated()
 	detected := res.Detected()
 	res.CD = stats.NewProportion(detected, activated)
@@ -247,8 +405,8 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 }
 
 // goldenRun executes the workload fault-free.
-func goldenRun(w Workload) ([]Write, error) {
-	inst, err := w.New()
+func goldenRun(w Workload, col *obs.Collector) ([]Write, error) {
+	inst, err := newInstance(w, col)
 	if err != nil {
 		return nil, err
 	}
@@ -313,8 +471,8 @@ type trialScratch struct {
 }
 
 // runTrial executes one injection run and classifies it.
-func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write, scratch *trialScratch) (TrialRecord, error) {
-	inst, err := w.New()
+func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write, scratch *trialScratch, col *obs.Collector) (TrialRecord, error) {
+	inst, err := newInstance(w, col)
 	if err != nil {
 		return TrialRecord{}, err
 	}

@@ -9,11 +9,11 @@ import (
 
 func TestGoldenRunDeterministic(t *testing.T) {
 	w := NewStdWorkload(StdWorkloadConfig{})
-	g1, err := goldenRun(w)
+	g1, err := goldenRun(w, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := goldenRun(w)
+	g2, err := goldenRun(w, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestFaultString(t *testing.T) {
 
 func BenchmarkCampaignTrial(b *testing.B) {
 	w := NewStdWorkload(StdWorkloadConfig{})
-	golden, err := goldenRun(w)
+	golden, err := goldenRun(w, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func BenchmarkCampaignTrial(b *testing.B) {
 	var scratch trialScratch
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := runTrial(w, cfg, rng, golden, &scratch); err != nil {
+		if _, err := runTrial(w, cfg, rng, golden, &scratch, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

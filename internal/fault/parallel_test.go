@@ -2,7 +2,10 @@ package fault
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestCampaignParallelDeterminism is the contract of the parallel
@@ -32,6 +35,49 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 	if !reflect.DeepEqual(seq, par) {
 		t.Errorf("aggregate results diverged:\nseq: %+v %v %v %v\npar: %+v %v %v %v",
 			seq.Counts, seq.CD, seq.PT, seq.POM, par.Counts, par.CD, par.PT, par.POM)
+	}
+}
+
+// TestCampaignTelemetryDeterminism extends the parallel-executor
+// contract to the observability layer: with telemetry (metrics + event
+// streams) enabled, the merged metrics registry and the merged event
+// stream must digest identically for Parallelism 1, 4 and GOMAXPROCS at
+// a fixed seed — the per-trial collectors merge in trial-index order
+// whatever the worker count.
+func TestCampaignTelemetryDeterminism(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var wantMetrics, wantEvents, wantGolden uint64
+	for i, p := range parallelisms {
+		res, err := Run(w, CampaignConfig{
+			Trials: 96, Seed: 42, Parallelism: p, TelemetryEvents: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics == nil {
+			t.Fatal("telemetry enabled but Metrics is nil")
+		}
+		if len(res.Events) == 0 || len(res.GoldenEvents) == 0 {
+			t.Fatalf("event streams empty: %d campaign, %d golden",
+				len(res.Events), len(res.GoldenEvents))
+		}
+		gotMetrics := res.Metrics.Digest()
+		gotEvents := obs.DigestEvents(res.Events)
+		gotGolden := obs.DigestEvents(res.GoldenEvents)
+		if i == 0 {
+			wantMetrics, wantEvents, wantGolden = gotMetrics, gotEvents, gotGolden
+			continue
+		}
+		if gotMetrics != wantMetrics {
+			t.Errorf("parallelism %d: metrics digest %x, want %x", p, gotMetrics, wantMetrics)
+		}
+		if gotEvents != wantEvents {
+			t.Errorf("parallelism %d: events digest %x, want %x", p, gotEvents, wantEvents)
+		}
+		if gotGolden != wantGolden {
+			t.Errorf("parallelism %d: golden digest %x, want %x", p, gotGolden, wantGolden)
+		}
 	}
 }
 

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCampaignMetricsCrossCheck is the Table 1 regeneration guarantee:
+// the per-mechanism detection counts, outcome tallies and trial totals
+// recomputed from the exported metrics registry alone must equal the
+// campaign Result's own accounting.
+func TestCampaignMetricsCrossCheck(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	res, err := Run(w, CampaignConfig{Trials: 150, Seed: 1234, Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.Metrics
+	if reg == nil {
+		t.Fatal("Telemetry set but Metrics nil")
+	}
+
+	// Trial count.
+	if got := reg.CounterTotal("campaign.trials"); got != uint64(res.Config.Trials) {
+		t.Errorf("campaign.trials = %d, want %d", got, res.Config.Trials)
+	}
+
+	// Per-mechanism detections (the coverage columns of Table 1).
+	byMech := reg.MechanismCounts("campaign.detected_by")
+	if len(byMech) != len(res.ByMechanism) {
+		t.Errorf("mechanism sets differ: metrics %v vs result %v", byMech, res.ByMechanism)
+	}
+	for m, n := range res.ByMechanism {
+		if got := byMech[m]; got != uint64(n) {
+			t.Errorf("detected_by[%s] = %d, want %d", m, got, n)
+		}
+	}
+
+	// Outcome tallies.
+	byOutcome := reg.MechanismCounts("campaign.outcomes")
+	var outcomeTotal uint64
+	for o, n := range res.Counts {
+		if got := byOutcome[o.String()]; got != uint64(n) {
+			t.Errorf("outcomes[%s] = %d, want %d", o, got, n)
+		}
+		outcomeTotal += uint64(n)
+	}
+	if got := reg.CounterTotal("campaign.outcomes"); got != outcomeTotal {
+		t.Errorf("outcome total = %d, want %d", got, outcomeTotal)
+	}
+
+	// Kernel hits.
+	kernelHits := 0
+	for _, rec := range res.Trials {
+		if rec.Kernel {
+			kernelHits++
+		}
+	}
+	if got := reg.CounterTotal("campaign.kernel_hits"); got != uint64(kernelHits) {
+		t.Errorf("campaign.kernel_hits = %d, want %d", got, kernelHits)
+	}
+
+	// The kernel-level series must be present too: every trial releases
+	// the control task at least once.
+	if got := reg.CounterTotal("events.release"); got < uint64(res.Config.Trials) {
+		t.Errorf("events.release = %d, want >= %d", got, res.Config.Trials)
+	}
+	if got := reg.CounterTotal("kernel.task_cycles"); got == 0 {
+		t.Error("kernel.task_cycles missing from merged registry")
+	}
+}
+
+// TestCampaignEventInvariants runs the TEM invariant checker over every
+// trial of a telemetry campaign and the no-critical-omission rule over
+// the fault-free golden run.
+func TestCampaignEventInvariants(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	res, err := Run(w, CampaignConfig{Trials: 80, Seed: 7, TelemetryEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrial := obs.SplitByTrial(res.Events)
+	if len(byTrial) != res.Config.Trials {
+		t.Fatalf("event stream covers %d trials, want %d", len(byTrial), res.Config.Trials)
+	}
+	for trial, events := range byTrial {
+		if trial < 1 || trial > res.Config.Trials {
+			t.Fatalf("event with out-of-range trial tag %d", trial)
+		}
+		for _, v := range obs.CheckInvariants(events) {
+			t.Errorf("trial %d: %v", trial, v)
+		}
+	}
+	for _, v := range obs.CheckInvariants(res.GoldenEvents) {
+		t.Errorf("golden run: %v", v)
+	}
+	for _, v := range obs.CheckNoCriticalOmission(res.GoldenEvents) {
+		t.Errorf("golden run: %v", v)
+	}
+}
+
+// TestCampaignProgress checks the OnProgress contract: calls are
+// serialized, done is strictly increasing, and the final call reports
+// total/total.
+func TestCampaignProgress(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	const trials = 40
+	var calls []int
+	_, err := Run(w, CampaignConfig{
+		Trials: trials, Seed: 3, Parallelism: 4,
+		OnProgress: func(done, total int) {
+			if total != trials {
+				t.Errorf("total = %d, want %d", total, trials)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != trials {
+		t.Fatalf("OnProgress called %d times, want %d", len(calls), trials)
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("call %d reported done=%d, want %d (monotonic)", i, done, i+1)
+		}
+	}
+}
+
+// TestCampaignTelemetryOff pins the zero-cost default: without Telemetry
+// the result carries no registry and no event streams.
+func TestCampaignTelemetryOff(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	res, err := Run(w, CampaignConfig{Trials: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != nil || res.Events != nil || res.GoldenEvents != nil {
+		t.Errorf("telemetry artifacts present without Telemetry: %v %d %d",
+			res.Metrics, len(res.Events), len(res.GoldenEvents))
+	}
+}
+
+// TestEventsPerTrialCap: the per-trial event cap bounds the merged
+// stream without perturbing metrics.
+func TestEventsPerTrialCap(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	full, err := Run(w, CampaignConfig{Trials: 10, Seed: 11, TelemetryEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Run(w, CampaignConfig{
+		Trials: 10, Seed: 11, TelemetryEvents: true, EventsPerTrial: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrial := obs.SplitByTrial(capped.Events)
+	for trial, events := range byTrial {
+		if len(events) > 4 {
+			t.Errorf("trial %d retained %d events, cap 4", trial, len(events))
+		}
+	}
+	if len(capped.Events) >= len(full.Events) {
+		t.Errorf("cap did not shrink the stream: %d vs %d", len(capped.Events), len(full.Events))
+	}
+	if full.Metrics.Digest() != capped.Metrics.Digest() {
+		t.Error("event cap changed the metrics registry")
+	}
+}

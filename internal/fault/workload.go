@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/des"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // Write is one committed output observed by the environment.
@@ -63,6 +64,16 @@ type Workload interface {
 	DataRange() (start uint32, words uint32)
 	// CodeRange returns a code region for memory-code faults.
 	CodeRange() (start uint32, words uint32)
+}
+
+// ObservableWorkload is a Workload that can attach an obs.Collector to
+// the instances it builds. Campaigns with Telemetry enabled use
+// NewObserved so each trial's kernel and simulator report into the
+// trial's private collector.
+type ObservableWorkload interface {
+	Workload
+	// NewObserved builds a fresh instance like New, wired to col.
+	NewObserved(col *obs.Collector) (*Instance, error)
 }
 
 // checksumSrc is the standard campaign workload program: a compute loop
@@ -172,7 +183,15 @@ func NewStdWorkload(cfg StdWorkloadConfig) Workload {
 }
 
 // New implements Workload.
-func (w *stdWorkload) New() (*Instance, error) {
+func (w *stdWorkload) New() (*Instance, error) { return w.build(nil) }
+
+// NewObserved implements ObservableWorkload.
+func (w *stdWorkload) NewObserved(col *obs.Collector) (*Instance, error) {
+	return w.build(col)
+}
+
+// build constructs one instance, optionally wired to an obs collector.
+func (w *stdWorkload) build(col *obs.Collector) (*Instance, error) {
 	sim := des.New()
 	rec := &Recorder{InputFn: func(port uint32) uint32 { return 0x1234 }}
 	k := kernel.New(sim, rec, kernel.Config{
@@ -180,11 +199,15 @@ func (w *stdWorkload) New() (*Instance, error) {
 		UseMMU:             w.cfg.UseMMU,
 		PermanentThreshold: w.cfg.PermanentThreshold,
 		Trace:              w.cfg.Trace,
+		Obs:                col,
 		AlwaysTriple:       w.cfg.AlwaysTriple,
 		NoContextRestore:   w.cfg.NoContextRestore,
 		CompareOutputsOnly: w.cfg.CompareOutputsOnly,
 		FailSilentOnError:  w.cfg.FailSilentOnError,
 	})
+	if col != nil {
+		obs.AttachSimulator(col, sim)
+	}
 	spec := kernel.TaskSpec{
 		Name:        "control",
 		Program:     w.prog,

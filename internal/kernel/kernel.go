@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Env is the node's environment: sensor inputs latched at task release
@@ -57,6 +58,11 @@ type Config struct {
 	CompareOutputsOnly bool
 	// Trace, when non-nil, records kernel events.
 	Trace *Trace
+	// Obs, when non-nil, receives structured telemetry: typed event
+	// records for every TEM state-machine step plus counters and
+	// histograms in the collector's registry (see internal/obs). Trace
+	// and Obs are independent sinks; either or both may be set.
+	Obs *obs.Collector
 }
 
 func (c *Config) applyDefaults() {
@@ -157,6 +163,11 @@ type Kernel struct {
 	cyclePeriod des.Time
 
 	stats Stats
+	// obsTaskCycles/obsKernelCycles are the cached cycle counters of the
+	// configured collector (nil when telemetry is off), resolved once so
+	// the per-slice accounting stays off the allocation path.
+	obsTaskCycles   *obs.Counter
+	obsKernelCycles *obs.Counter
 	// OnOutcome, when set, observes every settled release.
 	OnOutcome func(OutcomeInfo)
 	// OnFailSilent, when set, observes node shutdown.
@@ -188,6 +199,10 @@ func New(sim *des.Simulator, env Env, cfg Config) *Kernel {
 	}
 	mem.AttachIO(k)
 	k.stats.ErrorsDetected = make(map[string]uint64)
+	if cfg.Obs != nil {
+		k.obsTaskCycles = cfg.Obs.Counter("kernel.task_cycles", "", "")
+		k.obsKernelCycles = cfg.Obs.Counter("kernel.kernel_cycles", "", "")
+	}
 	return k
 }
 
@@ -255,6 +270,9 @@ func (k *Kernel) AddTask(spec TaskSpec) error {
 	}
 	t := &tcb{spec: spec, entryPC: entry, alive: true}
 	t.regions = k.buildRegions(spec)
+	if k.cfg.Obs != nil {
+		t.obsCopyCycles = k.cfg.Obs.Histogram("kernel.copy_cycles", spec.Name)
+	}
 	k.tasks[spec.Name] = t
 	k.order = append(k.order, t)
 	return nil
@@ -348,9 +366,50 @@ func (k *Kernel) Trigger(name string) error {
 	return nil
 }
 
-// trace appends to the configured trace sink.
+// obsKinds maps kernel trace kinds onto the structured telemetry kinds.
+var obsKinds = map[EventKind]obs.Kind{
+	TraceRelease:         obs.KindRelease,
+	TraceCopyStart:       obs.KindCopyStart,
+	TraceCopyEnd:         obs.KindCopyEnd,
+	TracePreempt:         obs.KindPreempt,
+	TraceResume:          obs.KindResume,
+	TraceErrorDetected:   obs.KindErrorDetected,
+	TraceCompareMatch:    obs.KindCompareMatch,
+	TraceCompareMismatch: obs.KindCompareMismatch,
+	TraceVote:            obs.KindVote,
+	TraceCommit:          obs.KindCommit,
+	TraceOmission:        obs.KindOmission,
+	TraceTaskShutdown:    obs.KindTaskShutdown,
+	TraceNodeFailSilent:  obs.KindFailSilent,
+	TraceStateCRCError:   obs.KindStateCRCError,
+}
+
+// trace appends to the configured trace sink and mirrors the record into
+// the structured telemetry stream. Release records carry the task's
+// criticality as the telemetry detail so stream consumers (the invariant
+// checker) can tell TEM tasks from single-copy ones.
 func (k *Kernel) trace(kind EventKind, task string, copyIdx int, detail string) {
 	k.cfg.Trace.add(TraceEvent{At: k.sim.Now(), Kind: kind, Task: task, Copy: copyIdx, Detail: detail})
+	if k.cfg.Obs != nil {
+		obsDetail := detail
+		if kind == TraceRelease && obsDetail == "" {
+			if t, ok := k.tasks[task]; ok {
+				obsDetail = t.spec.Criticality.String()
+			}
+		}
+		k.cfg.Obs.Emit(obs.Event{
+			At: k.sim.Now(), Kind: obsKinds[kind], Task: task, Copy: copyIdx, Detail: obsDetail,
+		})
+	}
+}
+
+// countDetected attributes one detected error to a mechanism in both the
+// legacy stats map and the telemetry registry.
+func (k *Kernel) countDetected(task, mechanism string) {
+	k.stats.ErrorsDetected[mechanism]++
+	if k.cfg.Obs != nil {
+		k.cfg.Obs.Counter("kernel.errors_detected", task, mechanism).Inc()
+	}
 }
 
 // release activates one job of t and schedules the next release.
@@ -377,7 +436,7 @@ func (k *Kernel) release(t *tcb) {
 		if t.dataCRC(k.mem) != t.stateCRC {
 			crcError = true
 			k.trace(TraceStateCRCError, t.spec.Name, 0, "restoring committed state")
-			k.stats.ErrorsDetected["state-crc"]++
+			k.countDetected(t.spec.Name, "state-crc")
 			if len(t.stateImage) == int(t.spec.DataWords) {
 				for i, w := range t.stateImage {
 					k.mem.Poke(t.spec.DataStart+uint32(i)*4, w)
@@ -469,8 +528,17 @@ func (k *Kernel) dispatch() {
 			k.trace(TracePreempt, k.current.task.spec.Name, k.current.copyIndex, "")
 		}
 		k.current = best
+		if k.cfg.Obs != nil {
+			k.cfg.Obs.Emit(obs.Event{
+				At: k.sim.Now(), Kind: obs.KindDispatch,
+				Task: best.task.spec.Name, Copy: best.copyIndex,
+			})
+		}
 		// Context-switch overhead: the kernel occupies the CPU first.
 		k.stats.KernelCycles += k.cfg.SwitchCycles
+		if k.obsKernelCycles != nil {
+			k.obsKernelCycles.Add(k.cfg.SwitchCycles)
+		}
 		k.kernelBusyUntil = k.sim.Now() + des.Time(k.cfg.SwitchCycles)*k.cyclePeriod
 		j := best
 		k.sim.Schedule(k.kernelBusyUntil, des.PrioDispatch, func() { k.runSlice(j) })
@@ -555,6 +623,9 @@ func (k *Kernel) runSlice(j *job) {
 	ev, exc, used := k.proc.RunCycles(sliceCycles)
 	j.cyclesUsed += used
 	k.stats.TaskCycles += used
+	if k.obsTaskCycles != nil {
+		k.obsTaskCycles.Add(used)
+	}
 	end := now + des.Time(used)*k.cyclePeriod
 	k.cpuBusyUntil = end
 
@@ -621,7 +692,7 @@ func (k *Kernel) handleDetectedError(j *job, mechanism string) {
 	if k.failed || j.state == jobDone {
 		return
 	}
-	k.stats.ErrorsDetected[mechanism]++
+	k.countDetected(j.task.spec.Name, mechanism)
 	j.errorsDetected++
 	j.detectedBy = append(j.detectedBy, mechanism)
 	k.trace(TraceErrorDetected, j.task.spec.Name, j.copyIndex, mechanism)
@@ -668,6 +739,9 @@ func (k *Kernel) copyComplete(j *job, res copyResult) {
 	if j.cyclesUsed > t.maxCopyCycles {
 		t.maxCopyCycles = j.cyclesUsed
 	}
+	if t.obsCopyCycles != nil {
+		t.obsCopyCycles.Observe(j.cyclesUsed)
+	}
 	k.trace(TraceCopyEnd, t.spec.Name, j.copyIndex, fmt.Sprintf("crc=%08x", res.crc()))
 	j.state = jobReady
 	j.started = false
@@ -709,7 +783,7 @@ func (k *Kernel) copyComplete(j *job, res copyResult) {
 		}
 		// Scenario ii: comparison detected an error; run a third copy if
 		// the deadline allows, then vote.
-		k.stats.ErrorsDetected["comparison"]++
+		k.countDetected(t.spec.Name, "comparison")
 		j.errorsDetected++
 		j.detectedBy = append(j.detectedBy, "comparison")
 		k.trace(TraceCompareMismatch, t.spec.Name, 0, "")
@@ -726,7 +800,7 @@ func (k *Kernel) copyComplete(j *job, res copyResult) {
 		firstTwoAgree := k.resultsEqual(&j.results[0], &j.results[1])
 		if !(firstTwoAgree &&
 			k.resultsEqual(&j.results[1], &j.results[2])) && j.errorsDetected == 0 {
-			k.stats.ErrorsDetected["vote"]++
+			k.countDetected(t.spec.Name, "vote")
 			j.errorsDetected++
 			j.detectedBy = append(j.detectedBy, "vote")
 		}
@@ -855,8 +929,11 @@ func (k *Kernel) deadlineCheck(j *job) {
 	k.omission(j, "deadline reached")
 }
 
-// emitOutcome invokes the outcome hook.
+// emitOutcome counts the release outcome and invokes the outcome hook.
 func (k *Kernel) emitOutcome(j *job, o Outcome) {
+	if k.cfg.Obs != nil {
+		k.cfg.Obs.Counter("kernel.outcomes", j.task.spec.Name, o.String()).Inc()
+	}
 	if k.OnOutcome == nil {
 		return
 	}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Criticality classes of §2.2.
@@ -237,6 +238,9 @@ type tcb struct {
 	// maxCopyCycles tracks the worst observed execution of one copy —
 	// the measured WCET fed into the schedulability analysis (§2.8).
 	maxCopyCycles uint64
+	// obsCopyCycles is the task's telemetry histogram of per-copy cycle
+	// counts (nil when the kernel has no collector).
+	obsCopyCycles *obs.Histogram
 	// consecutiveErrors counts releases in a row that saw detected
 	// errors; crossing the kernel's threshold suggests a permanent fault.
 	consecutiveErrors int

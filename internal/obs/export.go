@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/des"
+)
+
+// jsonEvent is the canonical JSONL wire form of an Event. Field order is
+// fixed by the struct, values by the event itself, so identical streams
+// produce byte-identical files — the property the golden-trace suite
+// diffs against.
+type jsonEvent struct {
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Node   string `json:"node,omitempty"`
+	Task   string `json:"task,omitempty"`
+	Copy   int    `json:"copy,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Trial  int    `json:"trial,omitempty"`
+}
+
+// WriteEventsJSONL writes one JSON object per event, in order.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonEvent{
+			At:     int64(e.At),
+			Kind:   e.Kind.String(),
+			Node:   e.Node,
+			Task:   e.Task,
+			Copy:   e.Copy,
+			Detail: e.Detail,
+			Trial:  e.Trial,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEventsJSONL parses a stream written by WriteEventsJSONL.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	for line := 1; ; line++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: events record %d: %w", line, err)
+		}
+		kind, ok := ParseKind(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: events record %d: unknown kind %q", line, je.Kind)
+		}
+		events = append(events, Event{
+			At:     des.Time(je.At),
+			Kind:   kind,
+			Node:   je.Node,
+			Task:   je.Task,
+			Copy:   je.Copy,
+			Detail: je.Detail,
+			Trial:  je.Trial,
+		})
+	}
+}
+
+// WriteCSV exports the registry snapshot as CSV with a fixed header.
+// Rows follow the canonical snapshot order.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "name,node,task,mechanism,type,value,count,sum,min,max,p50,p99"); err != nil {
+		return err
+	}
+	for _, p := range r.Snapshot() {
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%g,%d,%g,%g,%g,%g,%g\n",
+			csvField(p.Name), csvField(p.Node), csvField(p.Task), csvField(p.Mechanism),
+			p.Type, p.Value, p.Count, p.Sum, p.Min, p.Max, p.P50, p.P99)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// csvField quotes a field when it contains CSV metacharacters.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteJSON exports the registry snapshot as an indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type jsonPoint struct {
+		Name      string  `json:"name"`
+		Node      string  `json:"node,omitempty"`
+		Task      string  `json:"task,omitempty"`
+		Mechanism string  `json:"mechanism,omitempty"`
+		Type      string  `json:"type"`
+		Value     float64 `json:"value"`
+		Count     uint64  `json:"count,omitempty"`
+		Sum       float64 `json:"sum,omitempty"`
+		Min       float64 `json:"min,omitempty"`
+		Max       float64 `json:"max,omitempty"`
+		P50       float64 `json:"p50,omitempty"`
+		P99       float64 `json:"p99,omitempty"`
+	}
+	points := r.Snapshot()
+	out := make([]jsonPoint, len(points))
+	for i, p := range points {
+		out[i] = jsonPoint{
+			Name: p.Name, Node: p.Node, Task: p.Task, Mechanism: p.Mechanism,
+			Type: p.Type, Value: p.Value, Count: p.Count, Sum: p.Sum,
+			Min: p.Min, Max: p.Max, P50: p.P50, P99: p.P99,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteMetricsFile exports the registry to path, as CSV when the name
+// ends in ".csv" and as indented JSON otherwise. It is the shared
+// implementation behind the CLIs' -metrics-out flags.
+func (r *Registry) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = r.WriteCSV(f)
+	} else {
+		werr = r.WriteJSON(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// WriteEventsFile exports an event stream to path as JSONL. It is the
+// shared implementation behind the CLIs' -trace-out flags.
+func WriteEventsFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := WriteEventsJSONL(f, events)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// digest is an incremental 64-bit FNV-1a hasher.
+type digest struct{ h uint64 }
+
+func newDigest() *digest { return &digest{h: 14695981039346656037} }
+
+func (d *digest) byte(b byte) {
+	d.h ^= uint64(b)
+	d.h *= 1099511628211
+}
+
+func (d *digest) string(s string) {
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+	d.byte(0xFF) // field separator
+}
+
+func (d *digest) uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (d *digest) sum() uint64 { return d.h }
+
+// DigestEvents returns a 64-bit FNV-1a digest over the canonical binary
+// encoding of the event stream. Two streams digest identically iff every
+// field of every event matches in order — the one-comparison equality
+// check behind the parallelism-determinism regression tests.
+func DigestEvents(events []Event) uint64 {
+	d := newDigest()
+	for _, e := range events {
+		d.uint64(uint64(e.At))
+		d.byte(byte(e.Kind))
+		d.string(e.Node)
+		d.string(e.Task)
+		d.uint64(uint64(e.Copy))
+		d.string(e.Detail)
+		d.uint64(uint64(e.Trial))
+	}
+	return d.sum()
+}

@@ -1,0 +1,212 @@
+package obs_test
+
+// Golden-trace suite: three canonical TEM scenarios are replayed on the
+// simulated kernel and their structured event streams compared byte-wise
+// against checked-in JSONL files. Run with -update to rewrite the files
+// after an intentional change to the kernel's event emission.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenTaskSrc runs ~4007 cycles per copy (~80 µs at 50 MHz) and
+// writes one result — long enough that mid-copy injections land in
+// live computation.
+const goldenTaskSrc = `
+	.org 0x0000
+start:
+	movi r5, 1000
+	movi r6, 0
+loop:
+	add r6, r6, r5
+	addi r5, r5, -1
+	cmpi r5, 0
+	bgt loop
+	li r1, 0xFFFF0000
+	st r6, [r1+4]
+	sys 2
+`
+
+type goldenEnv struct{}
+
+func (goldenEnv) ReadInput(uint32) uint32    { return 0 }
+func (goldenEnv) WriteOutput(uint32, uint32) {}
+
+// goldenScenario describes one checked-in trace.
+type goldenScenario struct {
+	name     string
+	deadline des.Time
+	budget   des.Time
+	inject   func(sim *des.Simulator, k *kernel.Kernel)
+}
+
+var goldenScenarios = []goldenScenario{
+	// TEM double-execution happy path: two copies, comparison matches,
+	// commit (Figure 3 scenario i).
+	{name: "tem_happy", deadline: des.Millisecond, budget: 200 * des.Microsecond,
+		inject: func(*des.Simulator, *kernel.Kernel) {}},
+	// A register fault in copy 2 detected by the comparison; third copy
+	// and majority vote recover the result (Figure 3 scenario ii).
+	{name: "third_copy_vote", deadline: des.Millisecond, budget: 200 * des.Microsecond,
+		inject: func(sim *des.Simulator, k *kernel.Kernel) {
+			sim.Schedule(120*des.Microsecond, des.PrioInject, func() {
+				k.Proc().FlipRegister(6, 7)
+			})
+		}},
+	// A PC fault detected mid copy 2 with a deadline too tight to
+	// re-execute: the release ends in an omission (§2.5).
+	{name: "omission", deadline: 200 * des.Microsecond, budget: 120 * des.Microsecond,
+		inject: func(sim *des.Simulator, k *kernel.Kernel) {
+			sim.Schedule(150*des.Microsecond, des.PrioInject, func() {
+				k.Proc().FlipPC(13)
+			})
+		}},
+}
+
+// runGoldenScenario replays one scenario and returns its event stream.
+func runGoldenScenario(t *testing.T, sc goldenScenario) []obs.Event {
+	t.Helper()
+	prog, err := cpu.Assemble(goldenTaskSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	col := obs.NewCollector(sc.name)
+	k := kernel.New(sim, goldenEnv{}, kernel.Config{Obs: col})
+	spec := kernel.TaskSpec{
+		Name:        "T",
+		Program:     prog,
+		Entry:       "start",
+		Period:      des.Millisecond,
+		Deadline:    sc.deadline,
+		Priority:    1,
+		Criticality: kernel.Critical,
+		Budget:      sc.budget,
+		OutputPorts: []uint32{1},
+		StackStart:  0xC000,
+		StackWords:  64,
+	}
+	if err := k.AddTask(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc.inject(sim, k)
+	if err := sim.RunUntil(des.Millisecond / 2); err != nil {
+		t.Fatal(err)
+	}
+	return col.Events()
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			events := runGoldenScenario(t, sc)
+			if len(events) == 0 {
+				t.Fatal("scenario emitted no events")
+			}
+			var buf bytes.Buffer
+			if err := obs.WriteEventsJSONL(&buf, events); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", sc.name+".jsonl")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/obs -run TestGoldenTraces -update` to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("trace diverged from %s (rerun with -update if intentional)\ngot:\n%swant:\n%s",
+					path, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesSatisfyInvariants closes the loop between the two
+// suites: every checked-in golden stream must pass the TEM invariant
+// checker, and the fault-free one additionally the no-critical-omission
+// rule.
+func TestGoldenTracesSatisfyInvariants(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			events := runGoldenScenario(t, sc)
+			for _, v := range obs.CheckInvariants(events) {
+				t.Errorf("invariant violated: %v", v)
+			}
+			if sc.name == "tem_happy" {
+				for _, v := range obs.CheckNoCriticalOmission(events) {
+					t.Errorf("fault-free invariant violated: %v", v)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTraceKinds pins the qualitative shape of each scenario: the
+// happy path must show a comparison match and a commit and nothing
+// detected; the vote scenario a mismatch, a third copy and a majority
+// vote; the omission scenario a detected error and an omission without
+// commit.
+func TestGoldenTraceKinds(t *testing.T) {
+	kindSet := func(events []obs.Event) map[obs.Kind]bool {
+		m := make(map[obs.Kind]bool)
+		for _, e := range events {
+			m[e.Kind] = true
+		}
+		return m
+	}
+	wantByScenario := map[string]struct{ present, absent []obs.Kind }{
+		"tem_happy": {
+			present: []obs.Kind{obs.KindRelease, obs.KindCompareMatch, obs.KindCommit},
+			absent:  []obs.Kind{obs.KindErrorDetected, obs.KindCompareMismatch, obs.KindVote, obs.KindOmission},
+		},
+		"third_copy_vote": {
+			present: []obs.Kind{obs.KindCompareMismatch, obs.KindVote, obs.KindCommit},
+			absent:  []obs.Kind{obs.KindOmission, obs.KindFailSilent},
+		},
+		"omission": {
+			present: []obs.Kind{obs.KindErrorDetected, obs.KindOmission},
+			absent:  []obs.Kind{obs.KindCommit},
+		},
+	}
+	for _, sc := range goldenScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			kinds := kindSet(runGoldenScenario(t, sc))
+			want := wantByScenario[sc.name]
+			for _, k := range want.present {
+				if !kinds[k] {
+					t.Errorf("scenario %s missing kind %v", sc.name, k)
+				}
+			}
+			for _, k := range want.absent {
+				if kinds[k] {
+					t.Errorf("scenario %s unexpectedly contains kind %v", sc.name, k)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one invariant breach found in an event stream.
+type Violation struct {
+	// Rule names the violated invariant.
+	Rule string
+	// Index is the offending event's position in the checked stream.
+	Index int
+	// Event is the offending event.
+	Event Event
+	// Msg explains the breach.
+	Msg string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at #%d (%v): %s", v.Rule, v.Index, v.Event, v.Msg)
+}
+
+// Invariant rule names.
+const (
+	// RuleThirdCopyNeedsError: a third TEM copy is scheduled only after a
+	// detected error or a comparison mismatch (Figure 3: the third copy
+	// is on-demand, never speculative).
+	RuleThirdCopyNeedsError = "third-copy-needs-error"
+	// RuleCommitNeedsAgreement: every committed result of a critical task
+	// is backed by at least two agreeing copies — a comparison match or a
+	// majority vote (§2.5).
+	RuleCommitNeedsAgreement = "commit-needs-agreement"
+	// RuleOmissionExcludesCommit: omission and commit are mutually
+	// exclusive terminal events for one release — a release that
+	// committed cannot also be omitted, and vice versa.
+	RuleOmissionExcludesCommit = "omission-excludes-commit"
+	// RuleNoCriticalOmission: no critical task misses its deadline — only
+	// meaningful on fault-free runs, where TEM has nothing to recover.
+	RuleNoCriticalOmission = "no-critical-omission"
+)
+
+// releaseState tracks one task's current release through the TEM state
+// machine.
+type releaseState struct {
+	critical     bool
+	sawDetected  bool // EDM, state CRC, comparison mismatch or failed vote
+	sawAgreement bool // comparison match or majority vote
+	committed    bool
+	omitted      bool
+}
+
+// CheckInvariants verifies the TEM state-machine invariants over one
+// node's event stream (campaign consumers split the merged stream per
+// trial first; see SplitByTrial). It assumes at most one in-flight
+// release per task at a time, which holds for every workload in this
+// repository (deadline ≤ period). The stream may interleave any number
+// of tasks and nodes. Violations are returned in stream order; an empty
+// slice means the stream is consistent.
+//
+// Note: the third-copy rule assumes TEM's on-demand third copy; streams
+// produced with the AlwaysTriple ablation intentionally violate it.
+func CheckInvariants(events []Event) []Violation {
+	var out []Violation
+	state := map[[2]string]*releaseState{}
+	get := func(e Event) *releaseState {
+		k := [2]string{e.Node, e.Task}
+		st := state[k]
+		if st == nil {
+			st = &releaseState{}
+			state[k] = st
+		}
+		return st
+	}
+	for i, e := range events {
+		st := get(e)
+		switch e.Kind {
+		case KindRelease:
+			*st = releaseState{critical: e.Detail == "critical"}
+		case KindErrorDetected, KindCompareMismatch, KindStateCRCError:
+			st.sawDetected = true
+		case KindCompareMatch:
+			st.sawAgreement = true
+		case KindVote:
+			if strings.Contains(e.Detail, "majority found") {
+				st.sawAgreement = true
+			} else {
+				st.sawDetected = true
+			}
+		case KindCopyStart:
+			if e.Copy >= 3 && !st.sawDetected {
+				out = append(out, Violation{
+					Rule: RuleThirdCopyNeedsError, Index: i, Event: e,
+					Msg: "third copy scheduled without a detected error or comparison mismatch",
+				})
+			}
+		case KindCommit:
+			if st.critical && !st.sawAgreement {
+				out = append(out, Violation{
+					Rule: RuleCommitNeedsAgreement, Index: i, Event: e,
+					Msg: "critical-task commit without a comparison match or majority vote",
+				})
+			}
+			if st.omitted {
+				out = append(out, Violation{
+					Rule: RuleOmissionExcludesCommit, Index: i, Event: e,
+					Msg: "commit follows an omission for the same release",
+				})
+			}
+			st.committed = true
+		case KindOmission:
+			if st.committed {
+				out = append(out, Violation{
+					Rule: RuleOmissionExcludesCommit, Index: i, Event: e,
+					Msg: "omission follows a commit for the same release",
+				})
+			}
+			st.omitted = true
+		}
+	}
+	return out
+}
+
+// CheckNoCriticalOmission flags every omission of a critical task. It is
+// the fault-free-run invariant: with no faults injected, a schedulable
+// critical task must never miss a deadline or omit a result.
+func CheckNoCriticalOmission(events []Event) []Violation {
+	var out []Violation
+	critical := map[[2]string]bool{}
+	for i, e := range events {
+		k := [2]string{e.Node, e.Task}
+		switch e.Kind {
+		case KindRelease:
+			critical[k] = e.Detail == "critical"
+		case KindOmission:
+			if critical[k] {
+				out = append(out, Violation{
+					Rule: RuleNoCriticalOmission, Index: i, Event: e,
+					Msg: "critical task omitted a result in a fault-free run",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// SplitByTrial groups a campaign-merged event stream by its Trial tag,
+// preserving order within each trial. Events with Trial 0 (not part of a
+// campaign) are grouped under key 0.
+func SplitByTrial(events []Event) map[int][]Event {
+	out := map[int][]Event{}
+	for _, e := range events {
+		out[e.Trial] = append(out[e.Trial], e)
+	}
+	return out
+}

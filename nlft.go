@@ -34,6 +34,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/fault"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sharpe"
 )
@@ -143,6 +144,32 @@ func RunCampaign(w Workload, cfg CampaignConfig) (*CampaignResult, error) {
 // loop between experiment and analysis.
 func DeriveParams(base Params, w Workload, cfg CampaignConfig) (Params, *CampaignResult, error) {
 	return core.DeriveParams(base, w, cfg)
+}
+
+// --- Observability (structured telemetry) ---
+
+// Observability types (see internal/obs).
+type (
+	// ObsCollector couples a metrics registry with a structured event
+	// stream; attach one via StdWorkloadConfig-built campaigns
+	// (CampaignConfig.Telemetry) or SystemConfig.Obs.
+	ObsCollector = obs.Collector
+	// ObsEvent is one structured telemetry record.
+	ObsEvent = obs.Event
+	// ObsRegistry is a metrics registry (counters, gauges, histograms).
+	ObsRegistry = obs.Registry
+	// ObsViolation is one invariant breach found in an event stream.
+	ObsViolation = obs.Violation
+)
+
+// NewObsCollector returns a collector labeling events with node (may be
+// empty for single-node runs).
+func NewObsCollector(node string) *ObsCollector { return obs.NewCollector(node) }
+
+// CheckTraceInvariants verifies the TEM state-machine invariants over an
+// event stream.
+func CheckTraceInvariants(events []ObsEvent) []ObsViolation {
+	return obs.CheckInvariants(events)
 }
 
 // --- Brake-by-wire simulation (paper §3.1, Figure 4) ---
