@@ -6,7 +6,7 @@
 // Usage:
 //
 //	faultcampaign [-trials N] [-seed S] [-ecc] [-compute N] [-targets list]
-//	              [-parallel N] [-cpuprofile file] [-progress]
+//	              [-parallel N] [-cpuprofile file] [-memprofile file] [-progress]
 //	              [-metrics-out file] [-trace-out file]
 //
 // -metrics-out enables campaign telemetry and exports the merged metrics
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -38,6 +39,7 @@ func main() {
 	derive := flag.Bool("derive", false, "also derive model parameters and print the headline comparison")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the campaign (0 = GOMAXPROCS); results are identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsOut := flag.String("metrics-out", "", "export the merged metrics registry (JSON, or CSV if the name ends in .csv)")
 	traceOut := flag.String("trace-out", "", "export the merged per-trial event stream as JSONL (trial 0 = golden run)")
 	progress := flag.Bool("progress", false, "report live trial progress on stderr")
@@ -66,6 +68,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 		os.Exit(1)
 	}
+	if *memprofile != "" {
+		if err := writeMemProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMemProfile records the campaign's allocation profile ("allocs",
+// so both in-use and cumulative allocation views are available).
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so in-use numbers are accurate
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 // outputOptions bundles the telemetry-related flags.

@@ -10,7 +10,7 @@
 //	reliability -mttf
 //	reliability -headline
 //
-// All modes accept [-parallel N] [-cpuprofile file].
+// All modes accept [-parallel N] [-cpuprofile file] [-memprofile file].
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	parallel := flag.Int("parallel", 0, "cap on concurrent solver goroutines via GOMAXPROCS (0 = all cores); results are identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -55,6 +56,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reliability:", err)
 		os.Exit(1)
 	}
+	if *memprofile != "" {
+		if err := writeMemProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "reliability:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMemProfile records the run's allocation profile ("allocs", so
+// both in-use and cumulative allocation views are available).
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so in-use numbers are accurate
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 func run(fig int, mttf, headline bool, steps int, mission float64, csv bool) error {

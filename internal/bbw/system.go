@@ -63,6 +63,10 @@ type System struct {
 	stopped     bool
 	sampleEvery des.Time
 	samples     []Sample
+	// stepFn/sampleFn are the self-rescheduling physics and trace
+	// callbacks, bound once so the periodic re-arming allocates nothing.
+	stepFn   func()
+	sampleFn func()
 }
 
 // Counters aggregates release outcomes for one node across restarts.
@@ -308,10 +312,13 @@ func (s *System) Node(name string) (*node.HostedNode, error) {
 
 // scheduleStep drives the physics and sensor refresh.
 func (s *System) scheduleStep() {
-	s.Sim.Schedule(s.Sim.Now()+s.stepPeriod, des.PrioObserver, func() {
-		s.step()
-		s.scheduleStep()
-	})
+	if s.stepFn == nil {
+		s.stepFn = func() {
+			s.step()
+			s.scheduleStep()
+		}
+	}
+	s.Sim.Schedule(s.Sim.Now()+s.stepPeriod, des.PrioObserver, s.stepFn)
 }
 
 // step advances the vehicle and refreshes every node's sensors.
@@ -342,21 +349,24 @@ func (s *System) step() {
 
 // scheduleSample records the braking trace.
 func (s *System) scheduleSample() {
-	s.Sim.Schedule(s.Sim.Now()+s.sampleEvery, des.PrioObserver, func() {
-		var forces [4]float64
-		for i, wheel := range s.Wheels {
-			if !wheel.Down() {
-				forces[i] = float64(wheel.LocalOutput(WheelPortActuator))
+	if s.sampleFn == nil {
+		s.sampleFn = func() {
+			var forces [4]float64
+			for i, wheel := range s.Wheels {
+				if !wheel.Down() {
+					forces[i] = float64(wheel.LocalOutput(WheelPortActuator))
+				}
 			}
+			s.samples = append(s.samples, Sample{
+				T:        s.Sim.Now(),
+				SpeedMS:  s.Vehicle.Speed,
+				Distance: s.Vehicle.Distance,
+				Forces:   forces,
+			})
+			s.scheduleSample()
 		}
-		s.samples = append(s.samples, Sample{
-			T:        s.Sim.Now(),
-			SpeedMS:  s.Vehicle.Speed,
-			Distance: s.Vehicle.Distance,
-			Forces:   forces,
-		})
-		s.scheduleSample()
-	})
+	}
+	s.Sim.Schedule(s.Sim.Now()+s.sampleEvery, des.PrioObserver, s.sampleFn)
 }
 
 // Stopped reports whether and when the vehicle stopped.

@@ -299,8 +299,8 @@ func (a *assembler) statement(line string, emit bool) error {
 }
 
 var mnemonicTable = func() map[string]Opcode {
-	m := make(map[string]Opcode, len(opTable))
-	for op, info := range opTable {
+	m := make(map[string]Opcode, len(opSpecs))
+	for op, info := range opSpecs {
 		m[info.name] = op
 	}
 	return m

@@ -77,8 +77,11 @@ type Flags struct {
 type Event struct {
 	// Sys is nonzero after a SYS instruction, holding the service number.
 	Sys int32
-	// Sig is non-nil after a SIG instruction, holding the checkpoint id.
-	Sig *int32
+	// Sig holds the checkpoint id after a SIG instruction; HasSig
+	// distinguishes checkpoint 0 from no checkpoint. A value field keeps
+	// the per-instruction event heap-allocation-free.
+	Sig    int32
+	HasSig bool
 }
 
 // CPU is the processor state. The zero value is not usable; construct
@@ -313,8 +316,8 @@ func (c *CPU) Step() (Event, *Exception) {
 		// Running signature: rotate-and-xor, order-sensitive so swapped
 		// or skipped checkpoints change the value.
 		c.Signature = bits.RotateLeft32(c.Signature, 5) ^ uint32(d.imm)
-		sig := d.imm
-		ev.Sig = &sig
+		ev.Sig = d.imm
+		ev.HasSig = true
 	case OpSys:
 		ev.Sys = d.imm
 	default:

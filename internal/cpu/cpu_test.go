@@ -24,7 +24,7 @@ func runProgram(t *testing.T, src string) (*CPU, Event, *Exception) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	for op, info := range opTable {
+	for op, info := range opSpecs {
 		w := Encode(op, 3, 5, 7, -9)
 		d, ok := decode(w)
 		if !ok {
@@ -53,8 +53,8 @@ func TestDecodeRejectsUnassignedOpcodes(t *testing.T) {
 			assigned++
 		}
 	}
-	if assigned != len(opTable) {
-		t.Errorf("decode accepts %d opcodes, table has %d", assigned, len(opTable))
+	if assigned != len(opSpecs) {
+		t.Errorf("decode accepts %d opcodes, table has %d", assigned, len(opSpecs))
 	}
 	// Sparsity: most random opcode bytes must be illegal, which is what
 	// gives the illegal-opcode EDM its coverage.

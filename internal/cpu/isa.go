@@ -102,7 +102,9 @@ const (
 	fmtImmOnly                       // SIG/SYS imm
 )
 
-var opTable = map[Opcode]opInfo{
+// opSpecs is the source of truth for the instruction set (the assembler
+// iterates it to build its mnemonic table).
+var opSpecs = map[Opcode]opInfo{
 	OpNop:   {"nop", fmtNone, 1},
 	OpHalt:  {"halt", fmtNone, 1},
 	OpMovi:  {"movi", fmtRegImm, 1},
@@ -139,14 +141,25 @@ var opTable = map[Opcode]opInfo{
 	OpSys:   {"sys", fmtImmOnly, 1},
 }
 
+// opTable flattens opSpecs into a direct-indexed array: decode runs on
+// every simulated instruction, and indexing replaces a map hash on the
+// interpreter's hottest path. The zero opFormat marks an unassigned
+// opcode (illegal-opcode EDM).
+var opTable = func() (t [256]opInfo) {
+	for op, info := range opSpecs {
+		t[op] = info
+	}
+	return t
+}()
+
 // Encode packs an instruction word: opcode in bits 31–24, rd in 23–20,
 // ra in 19–16, and either rb in 15–12 or a 16-bit immediate in 15–0.
 func Encode(op Opcode, rd, ra, rb int, imm int32) uint32 {
 	w := uint32(op) << 24
 	w |= (uint32(rd) & 0xF) << 20
 	w |= (uint32(ra) & 0xF) << 16
-	info, ok := opTable[op]
-	if !ok {
+	info := opTable[op]
+	if info.format == 0 {
 		panic(fmt.Sprintf("cpu: encode unknown opcode %#x", uint8(op)))
 	}
 	switch info.format {
@@ -172,8 +185,8 @@ type decoded struct {
 // that is not assigned (the illegal-opcode EDM fires on those).
 func decode(w uint32) (decoded, bool) {
 	op := Opcode(w >> 24)
-	info, ok := opTable[op]
-	if !ok {
+	info := opTable[op]
+	if info.format == 0 {
 		return decoded{}, false
 	}
 	d := decoded{

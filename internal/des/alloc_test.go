@@ -1,0 +1,67 @@
+// The allocation gates in this file pin the tentpole guarantee of the
+// pooled event core: once the slot pool and heap backing are warm,
+// Schedule/Step/Cancel and the bounded NextEventAfter walk perform no
+// heap allocations. The race detector instruments allocations, so these
+// tests only run in non-race builds (CI runs them as a separate step).
+
+//go:build !race
+
+package des
+
+import "testing"
+
+// TestSteadyStateZeroAlloc drives a warm simulator through the full hot
+// path — schedule, lazy cancel, step, next-event query — and requires
+// zero allocations per iteration.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	s := New()
+	nop := func() {}
+	// Warm the pool, heap backing and walk stack.
+	for i := 0; i < 256; i++ {
+		s.Schedule(Time(i), PrioKernel, nop)
+	}
+	s.NextEventAfter(0)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		doomed := s.Schedule(s.Now()+3, PrioDispatch, nop)
+		s.Schedule(s.Now()+1, PrioKernel, nop)
+		s.Schedule(s.Now()+2, PrioNetwork, nop)
+		s.Cancel(doomed)
+		s.NextEventAfter(s.Now())
+		s.Step()
+		s.Step()
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule/Cancel/Step: %v allocs per run, want 0", allocs)
+	}
+}
+
+// TestRunUntilZeroAlloc: advancing the clock over a warm queue must not
+// allocate either (the RunUntil loop is the campaign driver's hot path).
+func TestRunUntilZeroAlloc(t *testing.T) {
+	s := New()
+	nop := func() {}
+	for i := 0; i < 64; i++ {
+		s.Schedule(Time(i), PrioKernel, nop)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	target := s.Now()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			s.Schedule(target+Time(10+i), PrioKernel, nop)
+		}
+		target += 100
+		if err := s.RunUntil(target); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm RunUntil: %v allocs per run, want 0", allocs)
+	}
+}

@@ -7,10 +7,18 @@
 // clock: simulated real-time behaviour (preemption, deadlines, TDMA slots)
 // is therefore reproducible and immune to host scheduling jitter, which is
 // the substitution DESIGN.md documents for the paper's bare-metal kernel.
+//
+// The event queue is built for a steady-state allocation-free hot path:
+// events live in a pooled slot array recycled through a free list, the
+// priority queue is a concrete 4-ary min-heap of slot indices (no
+// interface dispatch, no per-event boxing), and Schedule returns a small
+// value handle carrying a generation counter so a stale handle can never
+// cancel a recycled slot. Cancel is a lazy delete: the slot is marked and
+// skipped when it surfaces, with a periodic compaction sweep when
+// canceled entries dominate the heap.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -53,22 +61,16 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so callers can cancel the event before it fires. It is a small
+// value (slot index plus generation counter), valid only for the
+// Simulator that issued it. The zero Event refers to nothing: canceling
+// it is a no-op, so callers can keep a "no event pending" sentinel
+// without a pointer.
 type Event struct {
-	at       Time
-	prio     int
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 when not queued
-	canceled bool
+	slot int32
+	gen  uint32
 }
-
-// At reports the instant the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
-
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
 
 // Tie-break priorities for events scheduled at the same instant. Lower
 // values fire first. The bands keep infrastructure events (fault
@@ -81,44 +83,25 @@ const (
 	PrioObserver = 100  // probes and trace sinks see the settled state
 )
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// eventSlot is one pooled event. Slots are recycled through a free list;
+// gen increments on every recycle so stale handles cannot touch the new
+// occupant.
+type eventSlot struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	gen      uint32
+	prio     int32
+	canceled bool
 }
 
 // ErrStopped is returned by Run variants when Stop was called.
 var ErrStopped = errors.New("des: simulation stopped")
+
+// compactMinLazy is the minimum number of lazily-canceled entries before
+// a compaction sweep is considered; below it the per-pop skip is cheaper
+// than rebuilding.
+const compactMinLazy = 64
 
 // Simulator is a single-threaded discrete-event simulator. The zero value
 // is ready to use; the clock starts at 0.
@@ -127,9 +110,14 @@ var ErrStopped = errors.New("des: simulation stopped")
 // event callbacks on the caller's goroutine, which is what makes the
 // simulation deterministic.
 type Simulator struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
+	now  Time
+	pool []eventSlot
+	free []int32 // recycled slot indices (LIFO)
+	heap []int32 // 4-ary min-heap of slot indices, ordered by (at, prio, seq)
+	lazy int     // canceled entries still sitting in the heap
+	seq  uint64
+	// walk is the reused traversal stack for NextEventAfter.
+	walk    []int32
 	stopped bool
 	// fired counts events executed, exposed for tests and benchmarks.
 	fired uint64
@@ -154,42 +142,173 @@ func (s *Simulator) Now() Time { return s.now }
 // Fired reports the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending reports the number of events currently queued (including
-// canceled events not yet discarded).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports the number of live events currently queued (canceled
+// events awaiting lazy discard are not counted).
+func (s *Simulator) Pending() int { return len(s.heap) - s.lazy }
+
+// Scheduled reports whether e refers to an event that is still queued
+// and not canceled. A fired, canceled or zero handle reports false.
+func (s *Simulator) Scheduled(e Event) bool {
+	if e.gen == 0 || int(e.slot) >= len(s.pool) {
+		return false
+	}
+	sl := &s.pool[e.slot]
+	return sl.gen == e.gen && !sl.canceled
+}
+
+// less orders two pooled events by (instant, tie-break priority,
+// insertion sequence).
+func (s *Simulator) less(a, b int32) bool {
+	x, y := &s.pool[a], &s.pool[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.prio != y.prio {
+		return x.prio < y.prio
+	}
+	return x.seq < y.seq
+}
+
+// The heap is 4-ary: children of node i sit at 4i+1..4i+4, its parent at
+// (i-1)/4. The wider fan-out halves the tree depth of the binary layout,
+// trading a few extra comparisons per level for far fewer cache-missing
+// levels — the winning trade when the comparison is three integer fields
+// in a flat slot array.
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			return
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if s.less(h[k], h[best]) {
+				best = k
+			}
+		}
+		if !s.less(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// popRoot removes the heap minimum (the caller has already read it).
+func (s *Simulator) popRoot() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// freeSlot recycles a slot for reuse, bumping its generation so any
+// outstanding handle to the old occupant goes dead.
+func (s *Simulator) freeSlot(idx int32) {
+	sl := &s.pool[idx]
+	sl.gen++
+	if sl.gen == 0 { // never collide with the zero (no-event) handle
+		sl.gen = 1
+	}
+	sl.fn = nil
+	sl.canceled = false
+	s.free = append(s.free, idx)
+}
 
 // Schedule queues fn to run at instant at with the given same-instant
 // tie-break priority. Scheduling in the past panics: it indicates a model
 // bug that would otherwise silently corrupt causality.
-func (s *Simulator) Schedule(at Time, prio int, fn func()) *Event {
+func (s *Simulator) Schedule(at Time, prio int, fn func()) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
 	}
 	if fn == nil {
 		panic("des: schedule with nil callback")
 	}
-	e := &Event{at: at, prio: prio, seq: s.seq, fn: fn, index: -1}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.pool = append(s.pool, eventSlot{gen: 1})
+		idx = int32(len(s.pool) - 1)
+	}
+	sl := &s.pool[idx]
+	sl.at = at
+	sl.prio = int32(prio)
+	sl.seq = s.seq
+	sl.fn = fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+	return Event{slot: idx, gen: sl.gen}
 }
 
 // After queues fn to run d after the current instant at kernel priority.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) Event {
 	return s.Schedule(s.now+d, PrioKernel, fn)
 }
 
 // Cancel prevents a queued event from firing. Canceling an event that
-// already fired or was already canceled is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+// already fired, was already canceled, or a zero handle is a no-op: the
+// generation counter in the handle detects every stale case, including a
+// slot that has since been recycled for an unrelated event. The entry
+// stays in the heap as a lazy tombstone and is discarded when it
+// surfaces, or swept early when tombstones dominate the queue.
+func (s *Simulator) Cancel(e Event) {
+	if e.gen == 0 || int(e.slot) >= len(s.pool) {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&s.queue, e.index)
+	sl := &s.pool[e.slot]
+	if sl.gen != e.gen || sl.canceled {
+		return
+	}
+	sl.canceled = true
+	sl.fn = nil // release the callback's captures immediately
+	s.lazy++
+	if s.lazy >= compactMinLazy && s.lazy*2 >= len(s.heap) {
+		s.compact()
+	}
+}
+
+// compact sweeps lazily-canceled entries out of the heap and rebuilds it
+// in place (Floyd's O(n) heapify). Triggered from Cancel when at least
+// half the heap is tombstones, so the amortized cost per cancel is O(1).
+func (s *Simulator) compact() {
+	live := s.heap[:0]
+	for _, idx := range s.heap {
+		if s.pool[idx].canceled {
+			s.freeSlot(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	s.heap = live
+	s.lazy = 0
+	for i := (len(s.heap) - 2) / 4; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }
 
 // Stop makes the current Run variant return ErrStopped after the current
@@ -199,17 +318,24 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Step fires the next queued event, advancing the clock to its instant.
 // It reports false when the queue is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
+	for len(s.heap) > 0 {
+		idx := s.heap[0]
+		sl := &s.pool[idx]
+		if sl.canceled {
+			s.popRoot()
+			s.lazy--
+			s.freeSlot(idx)
 			continue
 		}
-		s.now = e.at
+		at, prio, fn := sl.at, int(sl.prio), sl.fn
+		s.popRoot()
+		s.freeSlot(idx)
+		s.now = at
 		s.fired++
 		if s.onEvent != nil {
-			s.onEvent(e.at, e.prio)
+			s.onEvent(at, prio)
 		}
-		e.fn()
+		fn()
 		return true
 	}
 	return false
@@ -237,7 +363,7 @@ func (s *Simulator) RunUntil(t Time) error {
 	s.stopped = false
 	for !s.stopped {
 		next, ok := s.peek()
-		if !ok || next.at > t {
+		if !ok || next > t {
 			s.now = t
 			return nil
 		}
@@ -246,27 +372,30 @@ func (s *Simulator) RunUntil(t Time) error {
 	return ErrStopped
 }
 
-// peek returns the next live event without removing it.
-func (s *Simulator) peek() (*Event, bool) {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.canceled {
-			return e, true
+// peek reports the instant of the next live event without firing it,
+// discarding canceled entries that surface at the root.
+func (s *Simulator) peek() (Time, bool) {
+	for len(s.heap) > 0 {
+		idx := s.heap[0]
+		if !s.pool[idx].canceled {
+			return s.pool[idx].at, true
 		}
-		heap.Pop(&s.queue)
+		s.popRoot()
+		s.lazy--
+		s.freeSlot(idx)
 	}
-	return nil, false
+	return 0, false
 }
 
 // NextEventAt reports the instant of the next live event, or MaxTime when
 // the queue is empty. Co-simulated components (the CPU interpreter) use it
 // to bound how long they may run before yielding back to the event loop.
 func (s *Simulator) NextEventAt() Time {
-	e, ok := s.peek()
+	at, ok := s.peek()
 	if !ok {
 		return MaxTime
 	}
-	return e.at
+	return at
 }
 
 // NextEventAfter reports the instant of the earliest live event strictly
@@ -274,12 +403,41 @@ func (s *Simulator) NextEventAt() Time {
 // run slices with this: events at the current instant have either
 // already fired (lower tie-break priority) or are other components'
 // same-instant work that cannot affect this CPU mid-slice.
+//
+// The walk exploits the heap invariant instead of scanning the whole
+// queue: a subtree rooted at an event later than t can contribute only
+// its root (children are never earlier), so the traversal descends only
+// through the few entries at or before t — same-instant leftovers and
+// lazy-canceled tombstones — and prunes everything already beaten by the
+// best candidate.
 func (s *Simulator) NextEventAfter(t Time) Time {
 	best := MaxTime
-	for _, e := range s.queue {
-		if !e.canceled && e.at > t && e.at < best {
-			best = e.at
+	h := s.heap
+	if len(h) == 0 {
+		return best
+	}
+	stack := s.walk[:0]
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		i := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		sl := &s.pool[h[i]]
+		if sl.at >= best {
+			continue // the whole subtree is at or past the current best
+		}
+		if sl.at > t && !sl.canceled {
+			best = sl.at
+			continue // children cannot beat their parent
+		}
+		c := 4*i + 1
+		end := c + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for ; c < end; c++ {
+			stack = append(stack, int32(c))
 		}
 	}
+	s.walk = stack[:0] // keep the grown stack for the next call
 	return best
 }

@@ -98,24 +98,27 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.Schedule(10, PrioKernel, func() { fired = true })
+	if !s.Scheduled(e) {
+		t.Error("Scheduled() = false for a queued event")
+	}
 	s.Cancel(e)
 	s.Cancel(e) // double cancel is a no-op
+	if s.Scheduled(e) {
+		t.Error("Scheduled() = true after Cancel")
+	}
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !e.Canceled() {
-		t.Error("Canceled() = false after Cancel")
-	}
-	s.Cancel(nil) // nil is a no-op
+	s.Cancel(Event{}) // the zero handle is a no-op
 }
 
 func TestCancelFromCallback(t *testing.T) {
 	s := New()
 	fired := false
-	var e *Event
+	var e Event
 	e = s.Schedule(10, PrioKernel, func() { fired = true })
 	s.Schedule(5, PrioKernel, func() { s.Cancel(e) })
 	if err := s.Run(); err != nil {

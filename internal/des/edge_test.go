@@ -1,0 +1,235 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The tests in this file pin the event-queue edge cases the pooled
+// rewrite must preserve: stale handles across slot recycling, lazy
+// deletion interacting with the run loop, and same-instant ordering
+// surviving pool reuse.
+
+// TestStaleHandleCannotCancelRecycledSlot: after an event fires, its
+// slot returns to the free list and is reused by the next Schedule. A
+// handle to the fired event must NOT cancel the new occupant — the
+// generation counter distinguishes them even though they share a slot.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	s := New()
+	stale := s.Schedule(1, PrioKernel, func() {})
+	if !s.Step() {
+		t.Fatal("no event to fire")
+	}
+	// The freed slot is recycled immediately (LIFO free list).
+	fired := false
+	fresh := s.Schedule(2, PrioKernel, func() { fired = true })
+	s.Cancel(stale) // stale: must be a no-op
+	if !s.Scheduled(fresh) {
+		t.Fatal("stale handle canceled the recycled slot's new event")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("recycled-slot event did not fire")
+	}
+}
+
+// TestCancelAlreadyFired: canceling an event that already fired is a
+// no-op and does not disturb the queue.
+func TestCancelAlreadyFired(t *testing.T) {
+	s := New()
+	count := 0
+	e := s.Schedule(1, PrioKernel, func() { count++ })
+	s.Schedule(2, PrioKernel, func() { count++ })
+	if !s.Step() {
+		t.Fatal("no event")
+	}
+	s.Cancel(e) // already fired
+	s.Cancel(e)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("fired %d events, want 2", count)
+	}
+}
+
+// TestCancelThenFireOrdering: lazily-deleted tombstones at the head of
+// the queue must not perturb the (time, prio, seq) order of the
+// surviving events.
+func TestCancelThenFireOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	var doomed []Event
+	// Interleave events to cancel with events to keep, same instants.
+	for i := 0; i < 20; i++ {
+		i := i
+		if i%2 == 0 {
+			doomed = append(doomed, s.Schedule(Time(i/4), PrioKernel, func() { order = append(order, -1) }))
+		} else {
+			s.Schedule(Time(i/4), PrioKernel, func() { order = append(order, i) })
+		}
+	}
+	for _, e := range doomed {
+		s.Cancel(e)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSameInstantBandsAcrossRecycling: priority-band ordering at one
+// instant must hold even when the events pass through recycled slots
+// with interleaved cancellations churning the free list.
+func TestSameInstantBandsAcrossRecycling(t *testing.T) {
+	s := New()
+	// Churn the pool: schedule and cancel a batch so the free list holds
+	// recycled slots in scrambled order.
+	var churn []Event
+	for i := 0; i < 8; i++ {
+		churn = append(churn, s.Schedule(Time(100), PrioKernel, func() {}))
+	}
+	for _, e := range churn {
+		s.Cancel(e)
+	}
+	var order []string
+	s.Schedule(50, PrioObserver, func() { order = append(order, "observer") })
+	s.Schedule(50, PrioInject, func() { order = append(order, "inject") })
+	s.Schedule(50, PrioDispatch, func() { order = append(order, "dispatch") })
+	s.Schedule(50, PrioNetwork, func() { order = append(order, "network") })
+	s.Schedule(50, PrioKernel, func() { order = append(order, "kernel") })
+	if err := s.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"inject", "network", "kernel", "dispatch", "observer"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRunUntilWithLazyDeletedHeads: RunUntil must advance the clock to
+// exactly t when every earlier event is a lazy-deleted tombstone, and
+// must not fire any of them.
+func TestRunUntilWithLazyDeletedHeads(t *testing.T) {
+	s := New()
+	fired := 0
+	var heads []Event
+	for i := 1; i <= 5; i++ {
+		heads = append(heads, s.Schedule(Time(i), PrioKernel, func() { fired++ }))
+	}
+	s.Schedule(100, PrioKernel, func() { fired++ })
+	for _, e := range heads {
+		s.Cancel(e)
+	}
+	if err := s.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("fired %d canceled events", fired)
+	}
+	if s.Now() != 50 {
+		t.Errorf("Now() = %v, want 50 (clock must land on t, not on a tombstone)", s.Now())
+	}
+	if err := s.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 || s.Now() != 100 {
+		t.Errorf("fired=%d now=%v, want 1 and 100", fired, s.Now())
+	}
+}
+
+// TestCompactionPreservesOrder: mass cancellation triggers the heap
+// compaction sweep; the survivors must still fire in order and the
+// tombstones must all be recycled.
+func TestCompactionPreservesOrder(t *testing.T) {
+	s := New()
+	const n = 1000
+	var fired []Time
+	var doomed []Event
+	for i := 0; i < n; i++ {
+		at := Time(i % 131)
+		if i%4 == 0 {
+			at := at
+			s.Schedule(at, PrioKernel, func() { fired = append(fired, at) })
+		} else {
+			doomed = append(doomed, s.Schedule(at, PrioKernel, func() { fired = append(fired, -1) }))
+		}
+	}
+	for _, e := range doomed {
+		s.Cancel(e) // ~75% tombstones: forces at least one compaction
+	}
+	if got, want := s.Pending(), n-len(doomed); got != want {
+		t.Errorf("Pending() = %d after mass cancel, want %d", got, want)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != n-len(doomed) {
+		t.Fatalf("fired %d events, want %d", len(fired), n-len(doomed))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order after compaction: %v then %v", fired[i-1], fired[i])
+		}
+	}
+}
+
+// TestNextEventAfterMatchesScan: property test pinning the heap-walk
+// NextEventAfter to the semantics of a full-queue scan, under random
+// schedules, cancellations and thresholds.
+func TestNextEventAfterMatchesScan(t *testing.T) {
+	check := func(times []uint8, cancels []bool, threshold uint8) bool {
+		s := New()
+		events := make([]Event, len(times))
+		for i, at := range times {
+			events[i] = s.Schedule(Time(at), PrioKernel, func() {})
+		}
+		for i, c := range cancels {
+			if c && i < len(events) {
+				s.Cancel(events[i])
+			}
+		}
+		// Reference: scan the pool through the heap slice.
+		want := MaxTime
+		for _, idx := range s.heap {
+			sl := &s.pool[idx]
+			if !sl.canceled && sl.at > Time(threshold) && sl.at < want {
+				want = sl.at
+			}
+		}
+		return s.NextEventAfter(Time(threshold)) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduledAfterFire: a handle goes dead once its event fires.
+func TestScheduledAfterFire(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, PrioKernel, func() {})
+	if !s.Scheduled(e) {
+		t.Error("Scheduled() = false before firing")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Scheduled(e) {
+		t.Error("Scheduled() = true after the event fired")
+	}
+	if s.Scheduled(Event{}) {
+		t.Error("Scheduled(zero handle) = true")
+	}
+}

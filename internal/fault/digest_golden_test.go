@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Golden values recorded on the container/heap + per-event-allocation
+// DES core (pre-pooling), pinning the exact observable behaviour the
+// zero-allocation rewrite must preserve: the merged telemetry digests
+// and the campaign outcome counts (the Table 1 inputs) are required to
+// be bit-identical before and after the pooled-event substitution, at
+// any parallelism. If one of these values ever changes, the event core
+// stopped being a pure performance change.
+const (
+	goldenMetricsDigest = 0x27985f346b5a7771
+	goldenEventsDigest  = 0x3133d4ed029107dd
+	goldenGoldenDigest  = 0xf469215e89ce4bdf
+)
+
+// goldenOutcomeCounts pins the Table 1 outcome tallies of a fixed
+// 200-trial campaign (Seed 1, all targets, ECC on).
+var goldenOutcomeCounts = map[Outcome]int{
+	NotActivated: 107,
+	Masked:       80,
+	Omission:     0,
+	FailSilent:   13,
+	ValueFailure: 0,
+}
+
+// TestCampaignDigestGolden runs the reference telemetry campaign at
+// Parallelism 1, 4 and GOMAXPROCS and requires the metric and event
+// digests to equal the recorded pre-rewrite values exactly.
+func TestCampaignDigestGolden(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	for _, p := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		res, err := Run(w, CampaignConfig{
+			Trials: 96, Seed: 42, Parallelism: p, TelemetryEvents: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Metrics.Digest(); got != goldenMetricsDigest {
+			t.Errorf("parallelism %d: metrics digest %#x, want %#x", p, got, uint64(goldenMetricsDigest))
+		}
+		if got := obs.DigestEvents(res.Events); got != goldenEventsDigest {
+			t.Errorf("parallelism %d: events digest %#x, want %#x", p, got, uint64(goldenEventsDigest))
+		}
+		if got := obs.DigestEvents(res.GoldenEvents); got != goldenGoldenDigest {
+			t.Errorf("parallelism %d: golden-run digest %#x, want %#x", p, got, uint64(goldenGoldenDigest))
+		}
+	}
+}
+
+// TestCampaignTable1Golden pins the outcome counts of a fixed campaign:
+// the Table 1 coverage numbers derive from these tallies, so equality
+// here means the reproduced table is unchanged by the DES rewrite.
+func TestCampaignTable1Golden(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	res, err := Run(w, CampaignConfig{Trials: 200, Seed: 1, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Outcome{NotActivated, Masked, Omission, FailSilent, ValueFailure} {
+		if res.Counts[o] != goldenOutcomeCounts[o] {
+			t.Errorf("outcome %v: %d trials, want %d", o, res.Counts[o], goldenOutcomeCounts[o])
+		}
+	}
+}

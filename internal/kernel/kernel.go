@@ -174,6 +174,10 @@ type Kernel struct {
 	OnFailSilent func(at des.Time, reason string)
 
 	dispatchPending bool
+	// dispatchFn is the bound dispatch callback, created once so
+	// scheduleDispatch re-arms the pass without allocating a method-value
+	// closure per event.
+	dispatchFn func()
 }
 
 // New builds a kernel on the given simulator and environment.
@@ -198,6 +202,7 @@ func New(sim *des.Simulator, env Env, cfg Config) *Kernel {
 		cyclePeriod: des.Time(int64(des.Second) / cfg.ClockHz),
 	}
 	mem.AttachIO(k)
+	k.dispatchFn = k.dispatch
 	k.stats.ErrorsDetected = make(map[string]uint64)
 	if cfg.Obs != nil {
 		k.obsTaskCycles = cfg.Obs.Counter("kernel.task_cycles", "", "")
@@ -270,6 +275,13 @@ func (k *Kernel) AddTask(spec TaskSpec) error {
 	}
 	t := &tcb{spec: spec, entryPC: entry, alive: true}
 	t.regions = k.buildRegions(spec)
+	t.releaseFn = func() { k.release(t) }
+	t.deferredTriggerFn = func() {
+		t.pendingTrigger = false
+		if !k.failed && t.alive {
+			k.release(t)
+		}
+	}
 	if k.cfg.Obs != nil {
 		t.obsCopyCycles = k.cfg.Obs.Histogram("kernel.copy_cycles", spec.Name)
 	}
@@ -321,8 +333,7 @@ func (k *Kernel) Start() error {
 		if t.spec.Sporadic {
 			continue // released by Trigger
 		}
-		t := t
-		k.sim.Schedule(k.sim.Now()+t.spec.Offset, des.PrioKernel, func() { k.release(t) })
+		k.sim.Schedule(k.sim.Now()+t.spec.Offset, des.PrioKernel, t.releaseFn)
 	}
 	return nil
 }
@@ -357,12 +368,7 @@ func (k *Kernel) Trigger(name string) error {
 		return nil // an activation is already queued
 	}
 	t.pendingTrigger = true
-	k.sim.Schedule(earliest, des.PrioKernel, func() {
-		t.pendingTrigger = false
-		if !k.failed && t.alive {
-			k.release(t)
-		}
-	})
+	k.sim.Schedule(earliest, des.PrioKernel, t.deferredTriggerFn)
 	return nil
 }
 
@@ -389,6 +395,9 @@ var obsKinds = map[EventKind]obs.Kind{
 // criticality as the telemetry detail so stream consumers (the invariant
 // checker) can tell TEM tasks from single-copy ones.
 func (k *Kernel) trace(kind EventKind, task string, copyIdx int, detail string) {
+	if k.cfg.Trace == nil && k.cfg.Obs == nil {
+		return
+	}
 	k.cfg.Trace.add(TraceEvent{At: k.sim.Now(), Kind: kind, Task: task, Copy: copyIdx, Detail: detail})
 	if k.cfg.Obs != nil {
 		obsDetail := detail
@@ -419,7 +428,7 @@ func (k *Kernel) release(t *tcb) {
 	}
 	now := k.sim.Now()
 	if !t.spec.Sporadic {
-		k.sim.Schedule(now+t.spec.Period, des.PrioKernel, func() { k.release(t) })
+		k.sim.Schedule(now+t.spec.Period, des.PrioKernel, t.releaseFn)
 	}
 	if !t.alive {
 		return
@@ -445,31 +454,70 @@ func (k *Kernel) release(t *tcb) {
 		}
 	}
 
-	j := &job{
-		task:       t,
-		release:    now,
-		deadline:   now + t.spec.Deadline,
-		state:      jobReady,
-		copyIndex:  1,
-		inputLatch: make(map[uint32]uint32, len(t.spec.InputPorts)),
-	}
+	j := k.acquireJob(t)
+	j.release = now
+	j.deadline = now + t.spec.Deadline
 	if crcError {
 		j.errorsDetected++
 		j.detectedBy = append(j.detectedBy, "state-crc")
 	}
 	for _, p := range t.spec.InputPorts {
-		j.inputLatch[p] = k.env.ReadInput(p)
+		j.inputLatch = append(j.inputLatch, k.env.ReadInput(p))
 	}
-	if t.spec.DataWords > 0 {
-		j.dataSnapshot = make([]uint32, t.spec.DataWords)
-		for i := range j.dataSnapshot {
-			j.dataSnapshot[i] = k.mem.Peek(t.spec.DataStart + uint32(i)*4)
-		}
+	for i := uint32(0); i < t.spec.DataWords; i++ {
+		j.dataSnapshot = append(j.dataSnapshot, k.mem.Peek(t.spec.DataStart+i*4))
 	}
-	j.deadlineEvent = k.sim.Schedule(j.deadline, des.PrioKernel, func() { k.deadlineCheck(j) })
+	j.deadlineEvent = k.sim.Schedule(j.deadline, des.PrioKernel, j.deadlineFn)
 	k.ready = append(k.ready, j)
 	k.trace(TraceRelease, t.spec.Name, 0, "")
 	k.scheduleDispatch()
+}
+
+// acquireJob returns a recycled job record for t, or a fresh one with
+// its continuation callbacks bound. A settled record is only reused once
+// no queued event still references it (its chain handle is no longer
+// scheduled), so a stale continuation firing late — e.g. a copy-complete
+// event outliving a deadline omission at the same instant — can never
+// observe a new incarnation of its job. Slice backings survive the reset
+// ([:0]), which is what makes steady-state releases allocation-free.
+func (k *Kernel) acquireJob(t *tcb) *job {
+	var j *job
+	for i := len(t.freeJobs) - 1; i >= 0; i-- {
+		cand := t.freeJobs[i]
+		if k.sim.Scheduled(cand.chainEvent) {
+			continue
+		}
+		t.freeJobs = append(t.freeJobs[:i], t.freeJobs[i+1:]...)
+		j = cand
+		break
+	}
+	if j == nil {
+		j = &job{task: t}
+		j.deadlineFn = func() { k.deadlineCheck(j) }
+		j.runSliceFn = func() { k.runSlice(j) }
+		j.resumeFn = func() { k.dispatchIfCurrent(j) }
+		j.completeFn = func() { k.copyComplete(j) }
+		j.errorFn = func() { k.handleDetectedError(j, j.pendingMech) }
+	}
+	j.state = jobReady
+	j.copyIndex = 1
+	j.nresults = 0
+	j.started = false
+	j.cyclesUsed = 0
+	j.inputLatch = j.inputLatch[:0]
+	j.outputs = j.outputs[:0]
+	j.dataSnapshot = j.dataSnapshot[:0]
+	j.errorsDetected = 0
+	j.detectedBy = j.detectedBy[:0]
+	j.deadlineEvent = des.Event{}
+	j.chainEvent = des.Event{}
+	j.pendingMech = ""
+	return j
+}
+
+// retireJob returns a settled job record to its task's free list.
+func (k *Kernel) retireJob(j *job) {
+	j.task.freeJobs = append(j.task.freeJobs, j)
 }
 
 // scheduleDispatch arranges a dispatch pass after the current events.
@@ -478,7 +526,7 @@ func (k *Kernel) scheduleDispatch() {
 		return
 	}
 	k.dispatchPending = true
-	k.sim.Schedule(k.sim.Now(), des.PrioDispatch, k.dispatch)
+	k.sim.Schedule(k.sim.Now(), des.PrioDispatch, k.dispatchFn)
 }
 
 // pickBest returns the highest-priority ready job.
@@ -540,8 +588,7 @@ func (k *Kernel) dispatch() {
 			k.obsKernelCycles.Add(k.cfg.SwitchCycles)
 		}
 		k.kernelBusyUntil = k.sim.Now() + des.Time(k.cfg.SwitchCycles)*k.cyclePeriod
-		j := best
-		k.sim.Schedule(k.kernelBusyUntil, des.PrioDispatch, func() { k.runSlice(j) })
+		best.chainEvent = k.sim.Schedule(k.kernelBusyUntil, des.PrioDispatch, best.runSliceFn)
 		return
 	}
 	k.runSlice(best)
@@ -559,7 +606,7 @@ func (k *Kernel) startCopy(j *job) {
 	for i, w := range j.dataSnapshot {
 		k.mem.Poke(t.spec.DataStart+uint32(i)*4, w)
 	}
-	j.outputs = nil
+	j.outputs = j.outputs[:0]
 	j.cyclesUsed = 0
 	j.started = true
 	k.trace(TraceCopyStart, t.spec.Name, j.copyIndex, "")
@@ -633,24 +680,25 @@ func (k *Kernel) runSlice(j *job) {
 	case exc != nil:
 		// A hardware EDM trapped (scenario iii/iv of Figure 3). HALT in a
 		// task is equally unexpected and treated as a detected error.
-		kind := exc.Kind.String()
-		k.sim.Schedule(end, des.PrioKernel, func() { k.handleDetectedError(j, kind) })
+		j.pendingMech = exc.Kind.String()
+		j.chainEvent = k.sim.Schedule(end, des.PrioKernel, j.errorFn)
 	case ev.Sys == cpu.SysEnd:
-		res := k.captureResult(j)
-		k.sim.Schedule(end, des.PrioKernel, func() { k.copyComplete(j, res) })
+		k.captureResult(j)
+		j.chainEvent = k.sim.Schedule(end, des.PrioKernel, j.completeFn)
 	case ev.Sys == cpu.SysYield:
 		j.ctx = k.proc.Snapshot()
 		j.state = jobReady
-		k.sim.Schedule(end, des.PrioDispatch, func() { k.dispatchIfCurrent(j) })
+		j.chainEvent = k.sim.Schedule(end, des.PrioDispatch, j.resumeFn)
 	case j.cyclesUsed >= budget:
 		// Execution-time monitor fired (Table 1).
-		k.sim.Schedule(end, des.PrioKernel, func() { k.handleDetectedError(j, "budget-timer") })
+		j.pendingMech = "budget-timer"
+		j.chainEvent = k.sim.Schedule(end, des.PrioKernel, j.errorFn)
 	default:
 		// Slice exhausted by an upcoming event; save context and let the
 		// dispatcher decide after that event settles.
 		j.ctx = k.proc.Snapshot()
 		j.state = jobReady
-		k.sim.Schedule(end, des.PrioDispatch, func() { k.dispatchIfCurrent(j) })
+		j.chainEvent = k.sim.Schedule(end, des.PrioDispatch, j.resumeFn)
 	}
 }
 
@@ -662,20 +710,22 @@ func (k *Kernel) dispatchIfCurrent(j *job) {
 	k.dispatch()
 }
 
-// captureResult reads the copy's result vector at slice end.
-func (k *Kernel) captureResult(j *job) copyResult {
+// captureResult reads the copy's result vector at slice end into the
+// job's next result slot, reusing the slot's backing arrays. The slot is
+// claimed (nresults advanced) only when copyComplete accepts the copy, so
+// a discarded copy's data is simply overwritten by the next capture.
+func (k *Kernel) captureResult(j *job) {
 	t := j.task
-	res := copyResult{
-		writes:    append([]portWrite(nil), j.outputs...),
-		signature: k.proc.Signature,
+	if j.nresults >= len(j.results) {
+		panic(fmt.Sprintf("kernel: %d results for task %s", j.nresults+1, t.spec.Name))
 	}
-	if t.spec.DataWords > 0 {
-		res.dataImage = make([]uint32, t.spec.DataWords)
-		for i := range res.dataImage {
-			res.dataImage[i] = k.mem.Peek(t.spec.DataStart + uint32(i)*4)
-		}
+	res := &j.results[j.nresults]
+	res.writes = append(res.writes[:0], j.outputs...)
+	res.signature = k.proc.Signature
+	res.dataImage = res.dataImage[:0]
+	for i := uint32(0); i < t.spec.DataWords; i++ {
+		res.dataImage = append(res.dataImage, k.mem.Peek(t.spec.DataStart+i*4))
 	}
-	return res
 }
 
 // timeForAnotherCopy checks the paper's deadline test: can one more copy
@@ -730,19 +780,23 @@ func (k *Kernel) handleDetectedError(j *job, mechanism string) {
 }
 
 // copyComplete advances the TEM state machine after a copy finished
-// normally (Figure 3).
-func (k *Kernel) copyComplete(j *job, res copyResult) {
+// normally (Figure 3). The copy's result sits in the job's next result
+// slot, captured at slice end.
+func (k *Kernel) copyComplete(j *job) {
 	if k.failed || j.state == jobDone {
 		return
 	}
 	t := j.task
+	res := &j.results[j.nresults]
 	if j.cyclesUsed > t.maxCopyCycles {
 		t.maxCopyCycles = j.cyclesUsed
 	}
 	if t.obsCopyCycles != nil {
 		t.obsCopyCycles.Observe(j.cyclesUsed)
 	}
-	k.trace(TraceCopyEnd, t.spec.Name, j.copyIndex, fmt.Sprintf("crc=%08x", res.crc()))
+	if k.cfg.Trace != nil || k.cfg.Obs != nil {
+		k.trace(TraceCopyEnd, t.spec.Name, j.copyIndex, fmt.Sprintf("crc=%08x", res.crc()))
+	}
 	j.state = jobReady
 	j.started = false
 	if j == k.current {
@@ -764,8 +818,8 @@ func (k *Kernel) copyComplete(j *job, res copyResult) {
 		return
 	}
 
-	j.results = append(j.results, res)
-	switch len(j.results) {
+	j.nresults++
+	switch j.nresults {
 	case 1:
 		j.copyIndex = 2
 		k.scheduleDispatch()
@@ -778,7 +832,7 @@ func (k *Kernel) copyComplete(j *job, res copyResult) {
 		}
 		if k.resultsEqual(&j.results[0], &j.results[1]) {
 			k.trace(TraceCompareMatch, t.spec.Name, 0, "")
-			k.commit(j, j.results[0])
+			k.commit(j, &j.results[0])
 			return
 		}
 		// Scenario ii: comparison detected an error; run a third copy if
@@ -819,9 +873,9 @@ func (k *Kernel) copyComplete(j *job, res copyResult) {
 			return
 		}
 		k.trace(TraceVote, t.spec.Name, 0, "majority found")
-		k.commit(j, *winner)
+		k.commit(j, winner)
 	default:
-		panic(fmt.Sprintf("kernel: %d results for task %s", len(j.results), t.spec.Name))
+		panic(fmt.Sprintf("kernel: %d results for task %s", j.nresults, t.spec.Name))
 	}
 }
 
@@ -846,7 +900,7 @@ func (k *Kernel) resultsEqual(a, b *copyResult) bool {
 // results leave the node (§2.5: "the task result is delivered and the
 // state data are only updated when two matching results have been
 // produced").
-func (k *Kernel) commit(j *job, res copyResult) {
+func (k *Kernel) commit(j *job, res *copyResult) {
 	t := j.task
 	j.state = jobDone
 	k.removeJob(j)
@@ -881,6 +935,7 @@ func (k *Kernel) commit(j *job, res copyResult) {
 	if j == k.current {
 		k.current = nil
 	}
+	k.retireJob(j)
 	k.scheduleDispatch()
 }
 
@@ -902,6 +957,7 @@ func (k *Kernel) omission(j *job, reason string) {
 			t.consecutiveErrors, t.spec.Name))
 		return
 	}
+	k.retireJob(j)
 	k.scheduleDispatch()
 }
 
@@ -918,6 +974,7 @@ func (k *Kernel) shutdownTask(j *job, reason string) {
 	k.stats.TaskShutdowns++
 	k.trace(TraceTaskShutdown, t.spec.Name, 0, reason)
 	k.emitOutcome(j, OutcomeTaskShutdown)
+	k.retireJob(j)
 	k.scheduleDispatch()
 }
 
@@ -982,16 +1039,20 @@ func (k *Kernel) ObservedWCET(task string) (wcet des.Time, ok bool) {
 func (k *Kernel) ForceFailSilent(reason string) { k.failSilent(reason) }
 
 // LoadPort implements cpu.IOBus: reads return the release-time latch.
+// The latch is a slice parallel to the spec's InputPorts; the linear
+// scan beats a map for the handful of ports a task declares and keeps
+// the I/O path allocation-free.
 func (k *Kernel) LoadPort(port uint32) (uint32, error) {
 	if k.current == nil {
 		return 0, fmt.Errorf("kernel: input port %d read with no task running", port)
 	}
-	v, ok := k.current.inputLatch[port]
-	if !ok {
-		return 0, fmt.Errorf("kernel: task %s reads undeclared input port %d",
-			k.current.task.spec.Name, port)
+	for i, p := range k.current.task.spec.InputPorts {
+		if p == port {
+			return k.current.inputLatch[i], nil
+		}
 	}
-	return v, nil
+	return 0, fmt.Errorf("kernel: task %s reads undeclared input port %d",
+		k.current.task.spec.Name, port)
 }
 
 // StorePort implements cpu.IOBus: writes are buffered in the running

@@ -222,6 +222,17 @@ type tcb struct {
 	spec    TaskSpec
 	entryPC uint32
 	regions []cpu.Region
+	// releaseFn and deferredTriggerFn are the task's bound release
+	// callbacks, created once at AddTask so periodic releases and
+	// deferred sporadic activations re-arm events without allocating a
+	// closure per period.
+	releaseFn         func()
+	deferredTriggerFn func()
+	// freeJobs holds settled job records for recycling: a release reuses
+	// one instead of allocating, so a steady-state hyperperiod runs
+	// allocation-free. At most two records rotate per task (the old job
+	// can still be live at its deadline when the next release fires).
+	freeJobs []*job
 	// stateCRC protects the task's state region between activations
 	// (data-integrity check, Table 1); stateImage is the committed copy
 	// used to recover from a CRC mismatch (data duplication, §2.6).
@@ -244,21 +255,27 @@ type tcb struct {
 	// consecutiveErrors counts releases in a row that saw detected
 	// errors; crossing the kernel's threshold suggests a permanent fault.
 	consecutiveErrors int
+	// crcBuf is dataCRC's word-encoding scratch. It lives in the TCB
+	// (already heap-resident) because a stack buffer passed to
+	// crc32.Update escapes and would cost one allocation per call.
+	crcBuf [4]byte
 }
 
-// dataCRC computes the CRC of the task's state region.
+// dataCRC computes the CRC of the task's state region. The incremental
+// crc32.Update form yields the same checksum as a NewIEEE digest without
+// allocating one per call (this runs at every release and commit).
 func (t *tcb) dataCRC(mem *cpu.Memory) uint32 {
-	h := crc32.NewIEEE()
-	var buf [4]byte
+	var crc uint32
+	buf := t.crcBuf[:]
 	for i := uint32(0); i < t.spec.DataWords; i++ {
 		v := mem.Peek(t.spec.DataStart + i*4)
 		buf[0] = byte(v)
 		buf[1] = byte(v >> 8)
 		buf[2] = byte(v >> 16)
 		buf[3] = byte(v >> 24)
-		h.Write(buf[:])
+		crc = crc32.Update(crc, crc32.IEEETable, buf)
 	}
-	return h.Sum32()
+	return crc
 }
 
 // jobState tracks one release through the TEM state machine.
@@ -270,7 +287,9 @@ const (
 	jobDone
 )
 
-// job is one activation (release) of a task.
+// job is one activation (release) of a task. Job records are recycled
+// through tcb.freeJobs; every slice-typed field keeps its backing array
+// across incarnations and is reset with [:0].
 type job struct {
 	task     *tcb
 	release  des.Time
@@ -278,8 +297,12 @@ type job struct {
 	state    jobState
 	// copyIndex is 1, 2 or 3 (third copy only after an error).
 	copyIndex int
-	// results collects completed copies' results.
-	results []copyResult
+	// results collects completed copies' results (at most three under
+	// TEM); nresults counts the filled entries. The fixed array plus the
+	// retained writes/dataImage backings make result capture
+	// allocation-free in steady state.
+	results  [3]copyResult
+	nresults int
 	// ctx is the saved CPU context while preempted mid-copy.
 	ctx cpu.Snapshot
 	// started reports whether ctx holds a live preempted context (true)
@@ -287,8 +310,9 @@ type job struct {
 	started bool
 	// cyclesUsed accumulates this copy's consumed cycles (budget check).
 	cyclesUsed uint64
-	// inputLatch holds the environment inputs captured at release.
-	inputLatch map[uint32]uint32
+	// inputLatch holds the environment inputs captured at release,
+	// parallel to spec.InputPorts (replica determinism, §2.6).
+	inputLatch []uint32
 	// outputs buffers the current copy's port writes.
 	outputs []portWrite
 	// dataSnapshot is the state region at release, restored before every
@@ -299,5 +323,22 @@ type job struct {
 	// detectedBy records which mechanisms fired (for traces/campaigns).
 	detectedBy []string
 	// deadlineEvent is the pending deadline-check event.
-	deadlineEvent *des.Event
+	deadlineEvent des.Event
+	// chainEvent is the job's most recent continuation event (dispatch,
+	// run-slice, copy-complete or error-handler). Exactly one such event
+	// is in flight per job; a job record is only recycled once it is no
+	// longer scheduled, so a queued continuation can never observe a new
+	// incarnation of its job.
+	chainEvent des.Event
+	// Bound continuation callbacks, created once when the job record is
+	// first allocated and reused across incarnations, so the TEM state
+	// machine re-arms events without per-release closure allocations.
+	deadlineFn func()
+	runSliceFn func()
+	resumeFn   func()
+	completeFn func()
+	errorFn    func()
+	// pendingMech carries the detection mechanism name from the slice
+	// that armed errorFn to the handler it fires.
+	pendingMech string
 }

@@ -115,8 +115,12 @@ type BehavioralNode struct {
 	masked uint64
 	// OnChange observes transitions.
 	OnChange func(n *BehavioralNode, from, to State)
-	// pending repair event, canceled on permanent transitions.
-	repair *des.Event
+	// pending repair event, canceled on permanent transitions (the zero
+	// handle means no repair is in flight).
+	repair des.Event
+	// Bound fault/repair callbacks, created once so the recurring
+	// exponential arrivals re-arm without allocating per event.
+	permanentFn, transientFn, repairedFn func()
 }
 
 // NewBehavioral builds a node in the Working state and schedules its
@@ -129,6 +133,9 @@ func NewBehavioral(sim *des.Simulator, rng *des.Rand, name string, b Behavior, r
 		return nil, fmt.Errorf("node: unknown behavior %v", b)
 	}
 	n := &BehavioralNode{Name: name, behavior: b, rates: r, sim: sim, rng: rng, state: Working}
+	n.permanentFn = n.permanentFault
+	n.transientFn = n.transientFault
+	n.repairedFn = n.repaired
 	n.schedulePermanent()
 	n.scheduleTransient()
 	return n, nil
@@ -159,7 +166,7 @@ func (n *BehavioralNode) schedulePermanent() {
 	if d == des.MaxTime {
 		return
 	}
-	n.sim.Schedule(n.sim.Now()+d, des.PrioInject, n.permanentFault)
+	n.sim.Schedule(n.sim.Now()+d, des.PrioInject, n.permanentFn)
 }
 
 func (n *BehavioralNode) scheduleTransient() {
@@ -170,7 +177,7 @@ func (n *BehavioralNode) scheduleTransient() {
 	if d == des.MaxTime {
 		return
 	}
-	n.sim.Schedule(n.sim.Now()+d, des.PrioInject, n.transientFault)
+	n.sim.Schedule(n.sim.Now()+d, des.PrioInject, n.transientFn)
 }
 
 // permanentFault handles an activated permanent fault.
@@ -178,10 +185,8 @@ func (n *BehavioralNode) permanentFault() {
 	if n.state == PermanentDown || n.state == Uncovered {
 		return
 	}
-	if n.repair != nil {
-		n.sim.Cancel(n.repair)
-		n.repair = nil
-	}
+	n.sim.Cancel(n.repair)
+	n.repair = des.Event{}
 	if !n.rng.Bool(n.rates.CD) {
 		n.setState(Uncovered)
 		return
@@ -221,17 +226,17 @@ func (n *BehavioralNode) transientFault() {
 func (n *BehavioralNode) failSilent() {
 	n.setState(RestartDown)
 	d := n.rng.ExpTime(n.rates.MuR)
-	n.repair = n.sim.Schedule(n.sim.Now()+d, des.PrioKernel, n.repaired)
+	n.repair = n.sim.Schedule(n.sim.Now()+d, des.PrioKernel, n.repairedFn)
 }
 
 func (n *BehavioralNode) omission() {
 	n.setState(OmissionDown)
 	d := n.rng.ExpTime(n.rates.MuOM)
-	n.repair = n.sim.Schedule(n.sim.Now()+d, des.PrioKernel, n.repaired)
+	n.repair = n.sim.Schedule(n.sim.Now()+d, des.PrioKernel, n.repairedFn)
 }
 
 func (n *BehavioralNode) repaired() {
-	n.repair = nil
+	n.repair = des.Event{}
 	if n.state == RestartDown || n.state == OmissionDown {
 		n.setState(Working)
 	}

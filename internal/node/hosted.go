@@ -72,6 +72,12 @@ type HostedNode struct {
 	// ExtraOnFrame, when set, observes every bus frame in addition to
 	// the RxMap routing (protocol extensions live here).
 	ExtraOnFrame func(f ttnet.Frame)
+	// restartFn and failSilentFn are bound once so restarts and kernel
+	// rebuilds do not allocate fresh callbacks; txBuf is the reused slot
+	// payload (the bus copies it per delivered frame).
+	restartFn    func()
+	failSilentFn func(at des.Time, reason string)
+	txBuf        []uint32
 }
 
 // NewHosted attaches a hosted node to the bus and starts its kernel.
@@ -89,6 +95,9 @@ func NewHosted(sim *des.Simulator, bus *ttnet.Bus, cfg HostedConfig) (*HostedNod
 		rxAt: make(map[uint32]des.Time),
 		tx:   make(map[uint32]uint32),
 	}
+	h.restartFn = h.restart
+	h.failSilentFn = func(at des.Time, reason string) { h.failSilent() }
+	h.txBuf = make([]uint32, len(cfg.TxPorts))
 	ep, err := bus.Attach(ttnet.NodeID(cfg.Name), h.provide, h.onFrame, nil)
 	if err != nil {
 		return nil, err
@@ -115,7 +124,7 @@ func (h *HostedNode) buildAndStart() error {
 	if err != nil {
 		return fmt.Errorf("node %s: %w", h.cfg.Name, err)
 	}
-	k.OnFailSilent = func(at des.Time, reason string) { h.failSilent() }
+	k.OnFailSilent = h.failSilentFn
 	h.k = k
 	return k.Start()
 }
@@ -135,7 +144,7 @@ func (h *HostedNode) failSilent() {
 		return // stays down: permanent suspicion confirmed
 	}
 	h.restarts++
-	h.sim.Schedule(h.sim.Now()+h.cfg.RestartDelay, des.PrioKernel, h.restart)
+	h.sim.Schedule(h.sim.Now()+h.cfg.RestartDelay, des.PrioKernel, h.restartFn)
 }
 
 // restart rebuilds the kernel and resumes transmission (reintegration).
@@ -148,7 +157,7 @@ func (h *HostedNode) restart() {
 		// A broken factory cannot be recovered at runtime; stay down.
 		return
 	}
-	k.OnFailSilent = func(at des.Time, reason string) { h.failSilent() }
+	k.OnFailSilent = h.failSilentFn
 	h.k = k
 	if h.OnRestart != nil && h.OnRestart(h) {
 		h.holdingRestart = true
@@ -193,11 +202,10 @@ func (h *HostedNode) provide(cycle uint64, slot int) []uint32 {
 	if h.down {
 		return nil
 	}
-	payload := make([]uint32, len(h.cfg.TxPorts))
 	for i, p := range h.cfg.TxPorts {
-		payload[i] = h.tx[p]
+		h.txBuf[i] = h.tx[p]
 	}
-	return payload
+	return h.txBuf
 }
 
 // onFrame routes valid frames into the receive buffers.

@@ -47,8 +47,8 @@ type StateSync struct {
 	cfg   StateSyncConfig
 	nodes [2]*HostedNode
 	// pendingTimeout is the cold-resume fallback for an in-flight
-	// recovery, per node index.
-	pendingTimeout [2]*des.Event
+	// recovery, per node index (the zero handle means none in flight).
+	pendingTimeout [2]des.Event
 	// Recoveries counts completed warm recoveries; ColdResumes counts
 	// timeouts that forced a cold reintegration.
 	Recoveries  uint64
@@ -99,7 +99,7 @@ func (s *StateSync) onRestart(idx int) bool {
 	// Fallback: resume cold if the reply never arrives.
 	s.pendingTimeout[idx] = me.Sim().Schedule(
 		me.Sim().Now()+s.cfg.Timeout, des.PrioKernel, func() {
-			s.pendingTimeout[idx] = nil
+			s.pendingTimeout[idx] = des.Event{}
 			s.ColdResumes++
 			me.Endpoint().SetDynamicWhileSilent(false)
 			me.CompleteRestart()
@@ -139,10 +139,8 @@ func (s *StateSync) onFrame(idx int, f ttnet.Frame) {
 		for w := uint32(0); w < s.cfg.DataWords; w++ {
 			me.Kernel().Mem().Poke(s.cfg.DataStart+w*4, f.Payload[2+w])
 		}
-		if ev := s.pendingTimeout[idx]; ev != nil {
-			me.Sim().Cancel(ev)
-			s.pendingTimeout[idx] = nil
-		}
+		me.Sim().Cancel(s.pendingTimeout[idx])
+		s.pendingTimeout[idx] = des.Event{}
 		s.Recoveries++
 		me.Endpoint().SetDynamicWhileSilent(false)
 		me.CompleteRestart()

@@ -12,7 +12,6 @@ package ttnet
 import (
 	"fmt"
 	"hash/crc32"
-	"sort"
 
 	"repro/internal/des"
 )
@@ -95,7 +94,8 @@ type Endpoint struct {
 	// onFrame receives every frame on the bus (including invalid ones,
 	// flagged, so receivers can count corrupted transmissions).
 	onFrame func(f Frame)
-	// onCycle is called at each cycle end with the membership view.
+	// onCycle is called at each cycle end with the membership view. The
+	// map is reused by the bus and only valid during the call.
 	onCycle func(cycle uint64, transmitted map[NodeID]bool)
 	silent  bool
 	// dynWhileSilent permits dynamic-segment transmission while the
@@ -162,6 +162,35 @@ type Bus struct {
 	stats       Stats
 	started     bool
 	dynSeq      uint64
+
+	// Bound schedule callbacks, created once at Start so the cyclic
+	// schedule re-arms its events without allocating a closure per slot
+	// per cycle: slotFns[i] runs static slot i, deliverFns[i] delivers
+	// the frame staged in pendingFrame[i].
+	slotFns      []func()
+	deliverFns   []func()
+	runDynamicFn func()
+	endCycleFn   func()
+	deliverDynFn func()
+	// pendingFrame stages each slot's frame between transmission and
+	// end-of-slot delivery.
+	pendingFrame []Frame
+	// dynScratch and dynPend are the dynamic segment's reused buffers:
+	// dynScratch collects and orders the cycle's messages, dynPend is the
+	// FIFO of frames awaiting delivery (deliverDynFn pops dynHead).
+	dynScratch []dynEntry
+	dynPend    []Frame
+	dynHead    int
+	// viewScratch is the reused membership view handed to onCycle; the
+	// callback contract is that the map is only valid during the call.
+	viewScratch map[NodeID]bool
+}
+
+// dynEntry pairs a queued dynamic message with its sender for
+// arbitration.
+type dynEntry struct {
+	msg  dynMsg
+	from NodeID
 }
 
 // NewBus builds a bus on the simulator.
@@ -243,14 +272,25 @@ func (b *Bus) Start() error {
 		return fmt.Errorf("ttnet: no endpoints")
 	}
 	b.started = true
+	b.slotFns = make([]func(), b.cfg.StaticSlots)
+	b.deliverFns = make([]func(), b.cfg.StaticSlots)
+	b.pendingFrame = make([]Frame, b.cfg.StaticSlots)
+	for slot := range b.slotFns {
+		slot := slot
+		b.slotFns[slot] = func() { b.runSlot(slot) }
+		b.deliverFns[slot] = func() { b.deliverSlot(slot) }
+	}
+	b.runDynamicFn = b.runDynamic
+	b.endCycleFn = b.endCycle
+	b.deliverDynFn = b.deliverNextDynamic
+	b.viewScratch = make(map[NodeID]bool, len(b.endpoints))
 	b.scheduleSlot(0)
 	return nil
 }
 
 // scheduleSlot arranges the transmission at the start of a static slot.
 func (b *Bus) scheduleSlot(slot int) {
-	at := b.sim.Now()
-	b.sim.Schedule(at, des.PrioNetwork, func() { b.runSlot(slot) })
+	b.sim.Schedule(b.sim.Now(), des.PrioNetwork, b.slotFns[slot])
 }
 
 // runSlot performs one static slot: the owner transmits (or not), and
@@ -268,25 +308,30 @@ func (b *Bus) runSlot(slot int) {
 	} else {
 		corrupted := b.corruptNext[slot]
 		delete(b.corruptNext, slot)
-		f := Frame{
+		// The payload is copied per frame: receivers are allowed to retain
+		// delivered frames, so the bus must not reuse their backing.
+		b.pendingFrame[slot] = Frame{
 			Cycle:   b.cycle,
 			Slot:    slot,
 			Sender:  owner,
 			Payload: append([]uint32(nil), payload...),
 			Valid:   !corrupted,
 		}
-		b.sim.Schedule(slotEnd, des.PrioNetwork, func() { b.deliver(f) })
+		b.sim.Schedule(slotEnd, des.PrioNetwork, b.deliverFns[slot])
 	}
 	// Next slot or dynamic segment.
 	if slot+1 < b.cfg.StaticSlots {
-		b.sim.Schedule(slotEnd, des.PrioNetwork, func() { b.runSlot(slot + 1) })
+		b.sim.Schedule(slotEnd, des.PrioNetwork, b.slotFns[slot+1])
 	} else {
-		b.sim.Schedule(slotEnd, des.PrioNetwork, b.runDynamic)
+		b.sim.Schedule(slotEnd, des.PrioNetwork, b.runDynamicFn)
 	}
 }
 
-// deliver fans a frame out to all endpoints and updates membership.
-func (b *Bus) deliver(f Frame) {
+// deliverSlot fans the frame staged for a static slot out to all
+// endpoints and updates membership.
+func (b *Bus) deliverSlot(slot int) {
+	f := b.pendingFrame[slot]
+	b.pendingFrame[slot] = Frame{}
 	if f.Valid {
 		b.stats.FramesDelivered++
 		b.transmitted[f.Sender] = true
@@ -306,31 +351,28 @@ func (b *Bus) deliver(f Frame) {
 func (b *Bus) runDynamic() {
 	segEnd := b.sim.Now() + b.cfg.DynamicLen
 	if b.cfg.DynamicLen > 0 {
-		// Collect pending messages from non-silent endpoints.
-		type pending struct {
-			msg  dynMsg
-			from NodeID
-		}
-		var all []pending
+		// Collect pending messages from non-silent endpoints into the
+		// reused scratch.
+		all := b.dynScratch[:0]
 		for _, id := range b.order {
 			e := b.endpoints[id]
 			if e.silent && !e.dynWhileSilent {
 				continue
 			}
 			for _, m := range e.dynQueue {
-				all = append(all, pending{msg: m, from: id})
+				all = append(all, dynEntry{msg: m, from: id})
 			}
-			e.dynQueue = nil
+			e.dynQueue = e.dynQueue[:0]
 		}
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].msg.prio != all[j].msg.prio {
-				return all[i].msg.prio > all[j].msg.prio
-			}
-			return all[i].msg.seq < all[j].msg.seq
-		})
+		sortDynEntries(all)
+		if b.dynHead == len(b.dynPend) {
+			b.dynPend = b.dynPend[:0]
+			b.dynHead = 0
+		}
 		capacity := int(b.cfg.DynamicLen / b.cfg.DynMiniSlot)
 		at := b.sim.Now()
-		for i, p := range all {
+		for i := range all {
+			p := &all[i]
 			if i >= capacity {
 				// No room this cycle: requeue for the next one.
 				e := b.endpoints[p.from]
@@ -339,22 +381,47 @@ func (b *Bus) runDynamic() {
 				continue
 			}
 			at += b.cfg.DynMiniSlot
-			f := Frame{
+			// Deliveries fire in schedule order, so a FIFO of staged frames
+			// popped by the single bound callback reproduces the per-frame
+			// closure exactly. The payload is the message's own copy (made
+			// in SendDynamic), never reused, so receivers may retain it.
+			b.dynPend = append(b.dynPend, Frame{
 				Cycle:   b.cycle,
 				Slot:    -1,
 				Sender:  p.from,
 				Payload: p.msg.payload,
 				Valid:   true,
-			}
+			})
 			b.stats.DynamicDelivered++
-			b.sim.Schedule(at, des.PrioNetwork, func() { b.deliverDynamic(f) })
+			b.sim.Schedule(at, des.PrioNetwork, b.deliverDynFn)
 		}
+		b.dynScratch = all[:0]
 	}
-	b.sim.Schedule(segEnd, des.PrioNetwork, b.endCycle)
+	b.sim.Schedule(segEnd, des.PrioNetwork, b.endCycleFn)
 }
 
-// deliverDynamic fans out a dynamic frame (no membership effect).
-func (b *Bus) deliverDynamic(f Frame) {
+// sortDynEntries orders messages by descending priority, FIFO within a
+// priority (seq is globally unique, so the order is total). Insertion
+// sort: dynamic queues are short and this keeps the arbitration free of
+// sort.Slice's per-call closure allocation.
+func sortDynEntries(all []dynEntry) {
+	for i := 1; i < len(all); i++ {
+		e := all[i]
+		j := i - 1
+		for j >= 0 && (e.msg.prio > all[j].msg.prio ||
+			(e.msg.prio == all[j].msg.prio && e.msg.seq < all[j].msg.seq)) {
+			all[j+1] = all[j]
+			j--
+		}
+		all[j+1] = e
+	}
+}
+
+// deliverNextDynamic fans out the next staged dynamic frame (no
+// membership effect).
+func (b *Bus) deliverNextDynamic() {
+	f := b.dynPend[b.dynHead]
+	b.dynHead++
 	for _, id := range b.order {
 		e := b.endpoints[id]
 		if e.onFrame != nil {
@@ -363,9 +430,12 @@ func (b *Bus) deliverDynamic(f Frame) {
 	}
 }
 
-// endCycle publishes the membership view and starts the next cycle.
+// endCycle publishes the membership view and starts the next cycle. The
+// view map is reused across cycles; onCycle callbacks must copy it if
+// they keep it.
 func (b *Bus) endCycle() {
-	view := make(map[NodeID]bool, len(b.transmitted))
+	view := b.viewScratch
+	clear(view)
 	for id, ok := range b.transmitted {
 		view[id] = ok
 	}
@@ -377,7 +447,7 @@ func (b *Bus) endCycle() {
 	}
 	b.stats.CyclesCompleted++
 	b.cycle++
-	b.transmitted = make(map[NodeID]bool, len(b.endpoints))
+	clear(b.transmitted)
 	b.scheduleSlot(0)
 }
 
