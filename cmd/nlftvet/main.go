@@ -1,0 +1,71 @@
+// Command nlftvet runs the repository's custom static-analysis suite
+// (internal/analysis) over Go packages and exits non-zero when any
+// analyzer reports a finding. It is the static complement of the
+// dynamic determinism and allocation gates: the golden-digest tests pin
+// what simulations computed, the AllocsPerRun tests pin what the warm
+// path allocated, and nlftvet rejects the code patterns that could make
+// either drift.
+//
+// Usage:
+//
+//	go run ./cmd/nlftvet ./...
+//
+// Flags:
+//
+//	-list    print the analyzers and their contracts, then exit
+//
+// Findings are suppressed per line with an //nlft:allow directive
+// carrying a justification; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nlftvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := analysis.ModuleRoot("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Check(pkg, analyzers) {
+			findings++
+			fmt.Printf("%s\n", d)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "nlftvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

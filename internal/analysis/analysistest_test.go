@@ -1,0 +1,176 @@
+package analysis
+
+// This file is the repository's stand-in for x/tools' analysistest: it
+// type-checks a fixture directory under testdata/src against the real
+// module's export data, runs one analyzer, and diffs the findings
+// against `// want "regexp"` comments in the fixture source. A fixture
+// line may carry several want clauses; every diagnostic must be wanted
+// and every want must be matched.
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"go/token"
+)
+
+var testImports struct {
+	once sync.Once
+	fset *token.FileSet
+	imp  types.ImporterFrom
+	err  error
+}
+
+// loadTestImporter builds (once) an importer over the module's
+// dependency closure plus the std packages fixtures are allowed to
+// import beyond it.
+func loadTestImporter(t *testing.T) (*token.FileSet, types.ImporterFrom) {
+	t.Helper()
+	testImports.once.Do(func() {
+		root, err := ModuleRoot("")
+		if err != nil {
+			testImports.err = err
+			return
+		}
+		testImports.fset, testImports.imp, testImports.err = ExportLookup(root,
+			"./...", "time", "math/rand", "sort", "fmt")
+	})
+	if testImports.err != nil {
+		t.Fatalf("loading export data: %v", testImports.err)
+	}
+	return testImports.fset, testImports.imp
+}
+
+// fixturePackage type-checks testdata/src/<dir> as a package with the
+// given import path (the import path controls analyzer scoping).
+func fixturePackage(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	fset, imp := loadTestImporter(t)
+	pattern := filepath.Join("testdata", "src", dir, "*.go")
+	files, err := filepath.Glob(pattern)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files match %s", pattern)
+	}
+	sort.Strings(files)
+	pkg, err := TypeCheckFiles(fset, imp, importPath, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// runAnalyzerTest is the analysistest entry point: run one analyzer
+// over a fixture and enforce the want comments.
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg := fixturePackage(t, dir, importPath)
+	diags := Check(pkg, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, name := range fixtureFiles(t, dir) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			patterns, err := parseWants(line)
+			if err != nil {
+				t.Fatalf("%s:%d: %v", name, i+1, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, p, err)
+				}
+				k := key{filepath.Base(name), i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
+				k.file, k.line, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+		}
+	}
+}
+
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "src", dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// parseWants extracts the quoted regexps from a `// want "a" "b"`
+// trailing comment, or nil when the line has none.
+func parseWants(line string) ([]string, error) {
+	i := strings.Index(line, "// want ")
+	if i < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(line[i+len("// want "):])
+	var out []string
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end == len(rest) {
+				return nil, fmt.Errorf("unterminated want string: %s", rest)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %v", rest[:end+1], err)
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want raw string: %s", rest)
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		default:
+			return nil, fmt.Errorf("want clause must be a quoted regexp, got %s", rest)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

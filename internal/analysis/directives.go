@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //nlft: directive grammar. Directives are ordinary line comments
+// with no space after "//", mirroring the //go: convention:
+//
+//	//nlft:noalloc
+//	    In the doc comment of a function or method: the function is
+//	    part of the warm hot path and the noalloc analyzer checks its
+//	    body for heap-allocating constructs. No arguments.
+//
+//	//nlft:allow <analyzer> <justification>
+//	    Suppresses the named analyzer's findings on the directive's
+//	    line (end-of-line form) or on the line directly below
+//	    (standalone form). The justification is mandatory: an exemption
+//	    without a recorded reason is itself a finding.
+//
+// Anything else spelled //nlft: is reported as malformed under the
+// pseudo-analyzer "nlftdirective" and cannot be suppressed.
+const directivePrefix = "//nlft:"
+
+// An Allow is one parsed //nlft:allow directive.
+type Allow struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// A Malformed is an //nlft: directive that does not follow the grammar.
+type Malformed struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Directives holds the parsed //nlft: annotations of one package.
+type Directives struct {
+	// Noalloc maps each function declaration carrying //nlft:noalloc
+	// in its doc comment to the directive's position.
+	Noalloc map[*ast.FuncDecl]token.Pos
+	// Allows lists every well-formed allow directive.
+	Allows []Allow
+	// Malformed lists directives that failed to parse.
+	Malformed []Malformed
+}
+
+// ParseDirectives extracts //nlft: directives from the package's
+// files. known is the set of analyzer names an allow may reference.
+func ParseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) *Directives {
+	d := &Directives{Noalloc: make(map[*ast.FuncDecl]token.Pos)}
+	for _, file := range files {
+		// Map each doc comment group to its function declaration so a
+		// noalloc directive can be tied to the function it annotates.
+		docOwner := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOwner[fd.Doc] = fd
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d.parse(fset, c, group, docOwner, known)
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) parse(fset *token.FileSet, c *ast.Comment, group *ast.CommentGroup, docOwner map[*ast.CommentGroup]*ast.FuncDecl, known map[string]bool) {
+	body := strings.TrimPrefix(c.Text, directivePrefix)
+	verb, rest, _ := strings.Cut(body, " ")
+	rest = strings.TrimSpace(rest)
+	switch verb {
+	case "noalloc":
+		if rest != "" {
+			d.malformed(c, "//nlft:noalloc takes no arguments (got %q); use //nlft:allow for exemptions", rest)
+			return
+		}
+		fd, ok := docOwner[group]
+		if !ok {
+			d.malformed(c, "//nlft:noalloc must appear in the doc comment of a function or method declaration")
+			return
+		}
+		d.Noalloc[fd] = c.Pos()
+	case "allow":
+		name, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+		if name == "" {
+			d.malformed(c, "//nlft:allow needs an analyzer name and a justification")
+			return
+		}
+		if !known[name] {
+			d.malformed(c, "//nlft:allow names unknown analyzer %q", name)
+			return
+		}
+		if reason == "" {
+			d.malformed(c, "//nlft:allow %s needs a justification after the analyzer name", name)
+			return
+		}
+		pos := fset.Position(c.Pos())
+		d.Allows = append(d.Allows, Allow{
+			Pos:      c.Pos(),
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Analyzer: name,
+			Reason:   reason,
+		})
+	default:
+		d.malformed(c, "unknown directive //nlft:%s (want noalloc or allow)", verb)
+	}
+}
+
+func (d *Directives) malformed(c *ast.Comment, format string, args ...any) {
+	d.Malformed = append(d.Malformed, Malformed{Pos: c.Pos(), Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether a diagnostic from the named analyzer at pos
+// is suppressed by an allow directive on the same line or on the line
+// directly above (the standalone-comment form).
+func (d *Directives) Allowed(analyzer string, pos token.Position) bool {
+	for _, a := range d.Allows {
+		if a.Analyzer != analyzer || a.File != pos.Filename {
+			continue
+		}
+		if a.Line == pos.Line || a.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// NoallocFunc reports whether decl carries the //nlft:noalloc
+// annotation.
+func (d *Directives) NoallocFunc(decl *ast.FuncDecl) bool {
+	_, ok := d.Noalloc[decl]
+	return ok
+}

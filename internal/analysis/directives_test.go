@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir_test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func parseDirs(t *testing.T, src string) *Directives {
+	t.Helper()
+	fset, f := parseOne(t, src)
+	return ParseDirectives(fset, []*ast.File{f}, KnownAnalyzerNames(nil))
+}
+
+func TestNoallocOnFunctionAndMethod(t *testing.T) {
+	d := parseDirs(t, `package p
+
+type T struct{}
+
+//nlft:noalloc
+func F() {}
+
+// M is documented.
+//
+//nlft:noalloc
+func (T) M() {}
+
+func Unannotated() {}
+`)
+	if len(d.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", d.Malformed)
+	}
+	if len(d.Noalloc) != 2 {
+		t.Fatalf("want 2 annotated declarations, got %d", len(d.Noalloc))
+	}
+	var names []string
+	for fd := range d.Noalloc {
+		names = append(names, fd.Name.Name)
+	}
+	got := strings.Join(sortedCopy(names), ",")
+	if got != "F,M" {
+		t.Errorf("annotated %q, want F and M", got)
+	}
+}
+
+func TestNoallocMalformed(t *testing.T) {
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{
+			"arguments",
+			"package p\n\n//nlft:noalloc because fast\nfunc F() {}\n",
+			"takes no arguments",
+		},
+		{
+			"free-floating",
+			"package p\n\n//nlft:noalloc\n\nfunc F() {}\n",
+			"must appear in the doc comment",
+		},
+		{
+			"on type declaration",
+			"package p\n\n//nlft:noalloc\ntype T struct{}\n",
+			"must appear in the doc comment of a function",
+		},
+		{
+			"inside function body",
+			"package p\n\nfunc F() {\n\t//nlft:noalloc\n}\n",
+			"must appear in the doc comment",
+		},
+		{
+			"unknown verb",
+			"package p\n\n//nlft:nolloc\nfunc F() {}\n",
+			"unknown directive",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := parseDirs(t, c.src)
+			if len(d.Noalloc) != 0 {
+				t.Errorf("malformed directive still annotated a function")
+			}
+			if len(d.Malformed) != 1 {
+				t.Fatalf("want 1 malformed directive, got %v", d.Malformed)
+			}
+			if !strings.Contains(d.Malformed[0].Message, c.wantMsg) {
+				t.Errorf("message %q does not mention %q", d.Malformed[0].Message, c.wantMsg)
+			}
+		})
+	}
+}
+
+func TestAllowParser(t *testing.T) {
+	d := parseDirs(t, `package p
+
+func F(m map[int]int) int {
+	total := 0
+	//nlft:allow nodeterminism commutative sum over trial tallies
+	for _, v := range m {
+		total += v
+	}
+	return total //nlft:allow noalloc boxing on the cold exit only
+}
+`)
+	if len(d.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", d.Malformed)
+	}
+	if len(d.Allows) != 2 {
+		t.Fatalf("want 2 allows, got %v", d.Allows)
+	}
+	a := d.Allows[0]
+	if a.Analyzer != "nodeterminism" || a.Reason != "commutative sum over trial tallies" {
+		t.Errorf("allow[0] parsed as %+v", a)
+	}
+	if a.Line != 5 {
+		t.Errorf("allow[0] on line %d, want 5", a.Line)
+	}
+	b := d.Allows[1]
+	if b.Analyzer != "noalloc" || b.Reason != "boxing on the cold exit only" {
+		t.Errorf("allow[1] parsed as %+v", b)
+	}
+
+	pos := func(line int) token.Position {
+		return token.Position{Filename: "dir_test.go", Line: line}
+	}
+	// Standalone form: suppresses its own line and the line below.
+	if !d.Allowed("nodeterminism", pos(6)) {
+		t.Errorf("standalone allow must cover the next line")
+	}
+	if d.Allowed("nodeterminism", pos(7)) {
+		t.Errorf("allow must not cover two lines down")
+	}
+	// Analyzer name must match.
+	if d.Allowed("noalloc", pos(6)) {
+		t.Errorf("allow must be per-analyzer")
+	}
+	// End-of-line form: suppresses its own line.
+	if !d.Allowed("noalloc", pos(9)) {
+		t.Errorf("end-of-line allow must cover its own line")
+	}
+	// Other files are unaffected.
+	if d.Allowed("nodeterminism", token.Position{Filename: "other.go", Line: 6}) {
+		t.Errorf("allow must be per-file")
+	}
+}
+
+func TestAllowMalformed(t *testing.T) {
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{
+			"unknown analyzer",
+			"package p\n\n//nlft:allow speling mistake\nfunc F() {}\n",
+			`unknown analyzer "speling"`,
+		},
+		{
+			"missing justification",
+			"package p\n\n//nlft:allow nodeterminism\nfunc F() {}\n",
+			"needs a justification",
+		},
+		{
+			"empty",
+			"package p\n\n//nlft:allow\nfunc F() {}\n",
+			"needs an analyzer name",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := parseDirs(t, c.src)
+			if len(d.Allows) != 0 {
+				t.Errorf("malformed allow was accepted: %v", d.Allows)
+			}
+			if len(d.Malformed) != 1 {
+				t.Fatalf("want 1 malformed directive, got %v", d.Malformed)
+			}
+			if !strings.Contains(d.Malformed[0].Message, c.wantMsg) {
+				t.Errorf("message %q does not mention %q", d.Malformed[0].Message, c.wantMsg)
+			}
+		})
+	}
+}
+
+// TestMalformedDirectivesSurfaceAsFindings: Check reports malformed
+// directives under the non-suppressible nlftdirective pseudo-analyzer.
+func TestMalformedDirectivesSurfaceAsFindings(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//nlft:allow nosuchanalyzer whatever
+func F() {}
+`)
+	pkg := &Package{
+		ImportPath: "repro/tools/p",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      nil,
+		Info:       newInfo(),
+	}
+	// Type info is not needed: directive scanning is purely syntactic,
+	// and no analyzer runs here.
+	diags := Check(pkg, nil)
+	if len(diags) != 1 || diags[0].Analyzer != DirectiveAnalyzer {
+		t.Fatalf("want one %s finding, got %v", DirectiveAnalyzer, diags)
+	}
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// desPath is the import path suffix identifying the DES package whose
+// Event handles this analyzer polices.
+const desPathSuffix = "internal/des"
+
+// EventHandle checks code that holds pooled des.Event handles. An Event
+// is a value handle (slot index + generation) into a recycled slot
+// array: the only safe liveness test is Simulator.Scheduled, the only
+// safe comparison is against the zero Event sentinel, and a handle that
+// was canceled must be reset so later liveness checks cannot observe a
+// stale generation. The analyzer flags:
+//
+//   - ==/!= between two Event expressions when neither side is the
+//     zero-value literal (generation equality is not liveness);
+//   - struct fields of type des.Event (or arrays of it) that the
+//     package never passes to Scheduled or Cancel — a stored handle
+//     nobody guards is exactly the stale-handle hazard the generation
+//     counter exists to catch;
+//   - reading a handle again after canceling it, before reassigning it
+//     (cancel-then-zero is the sanctioned idiom).
+var EventHandle = &Analyzer{
+	Name: "eventhandle",
+	Doc:  "enforce the pooled des.Event handle discipline (Scheduled/Cancel guarding, zero-value comparisons only)",
+	Run:  runEventHandle,
+}
+
+func runEventHandle(pass *Pass) {
+	if isPathSuffix(pass.Pkg.Path(), desPathSuffix) {
+		return // the des package manipulates slots directly by design
+	}
+	eventType := findDesEvent(pass.Pkg)
+	if eventType == nil {
+		return // package does not use the DES
+	}
+	isEvent := func(t types.Type) bool {
+		return t != nil && types.Identical(t, eventType)
+	}
+	// Fields of Event type (or arrays thereof) declared in this package,
+	// keyed by the field object, mapped to its declaration node.
+	eventFields := make(map[*types.Var]ast.Node)
+	guarded := make(map[*types.Var]bool)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					t := pass.Info.TypeOf(field.Type)
+					if t == nil || !(isEvent(t) || isEventArray(t, eventType)) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							eventFields[v] = field
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkEventCompare(pass, n, isEvent)
+				}
+			case *ast.CallExpr:
+				if fv := guardedField(pass, n, eventType); fv != nil {
+					guarded[fv] = true
+				}
+			case *ast.BlockStmt:
+				checkUseAfterCancel(pass, n, eventType, isEvent)
+			}
+			return true
+		})
+	}
+	for fv, node := range eventFields {
+		if !guarded[fv] {
+			pass.Reportf(node.Pos(), "struct field %s stores a pooled des.Event handle but the package never guards it with Simulator.Scheduled or Cancel; a stale handle silently aliases a recycled slot", fv.Name())
+		}
+	}
+}
+
+func isPathSuffix(path, suffix string) bool {
+	return path == suffix || (len(path) > len(suffix) &&
+		path[len(path)-len(suffix):] == suffix && path[len(path)-len(suffix)-1] == '/')
+}
+
+// findDesEvent locates the des.Event named type among the package's
+// imports, or nil when the package does not import the DES.
+func findDesEvent(pkg *types.Package) types.Type {
+	for _, imp := range pkg.Imports() {
+		if isPathSuffix(imp.Path(), desPathSuffix) {
+			if obj, ok := imp.Scope().Lookup("Event").(*types.TypeName); ok {
+				return obj.Type()
+			}
+		}
+	}
+	return nil
+}
+
+func isEventArray(t types.Type, eventType types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	return ok && types.Identical(arr.Elem(), eventType)
+}
+
+// isZeroEventLit reports whether e is the zero-value composite literal
+// des.Event{} (the sanctioned "no event pending" sentinel).
+func isZeroEventLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	return ok && len(lit.Elts) == 0
+}
+
+func checkEventCompare(pass *Pass, cmp *ast.BinaryExpr, isEvent func(types.Type) bool) {
+	if !isEvent(pass.Info.TypeOf(cmp.X)) && !isEvent(pass.Info.TypeOf(cmp.Y)) {
+		return
+	}
+	if isZeroEventLit(cmp.X) || isZeroEventLit(cmp.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		if lit, ok := ast.Unparen(side).(*ast.CompositeLit); ok && len(lit.Elts) != 0 {
+			pass.Reportf(cmp.Pos(), "comparing a des.Event handle against a non-zero literal: handle internals (slot, generation) are not stable identities")
+			return
+		}
+	}
+	pass.Reportf(cmp.Pos(), "comparing two des.Event handles with %s conflates generations; test liveness with Simulator.Scheduled, or compare against the zero Event sentinel", cmp.Op)
+}
+
+// guardedField reports the Event-typed struct field that call guards,
+// when call is sim.Scheduled(x.f) or sim.Cancel(x.f) (possibly through
+// an index expression for array fields).
+func guardedField(pass *Pass, call *ast.CallExpr, eventType types.Type) *types.Var {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || (fn.Name() != "Scheduled" && fn.Name() != "Cancel") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || len(call.Args) != 1 {
+		return nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if idx, ok := arg.(*ast.IndexExpr); ok {
+		arg = ast.Unparen(idx.X)
+	}
+	sel, ok := arg.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkUseAfterCancel flags, within one statement list, reads of a
+// canceled handle before it is reassigned. The cancel-then-reset idiom
+//
+//	sim.Cancel(x.ev)
+//	x.ev = des.Event{}
+//
+// passes; reading the handle again (or canceling it again) does not.
+func checkUseAfterCancel(pass *Pass, block *ast.BlockStmt, eventType types.Type, isEvent func(types.Type) bool) {
+	for i, stmt := range block.List {
+		expr, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := expr.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Name() != "Cancel" || len(call.Args) != 1 {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if !isEvent(pass.Info.TypeOf(call.Args[0])) {
+			continue
+		}
+		handle := types.ExprString(call.Args[0])
+		scanReadsAfterCancel(pass, block.List[i+1:], handle)
+	}
+}
+
+// scanReadsAfterCancel walks the statements after a Cancel(handle) and
+// reports reads of the same handle expression until a statement assigns
+// to it.
+func scanReadsAfterCancel(pass *Pass, stmts []ast.Stmt, handle string) {
+	for _, stmt := range stmts {
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			assigned := false
+			for _, lhs := range as.Lhs {
+				if types.ExprString(lhs) == handle {
+					assigned = true
+				}
+			}
+			for _, rhs := range as.Rhs {
+				reportHandleReads(pass, rhs, handle)
+			}
+			if assigned {
+				return
+			}
+			continue
+		}
+		done := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if done {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && types.ExprString(e) == handle {
+				pass.Reportf(e.Pos(), "handle %s is read after Cancel without being reset; assign the zero des.Event (or reschedule) first", handle)
+				done = true
+				return false
+			}
+			return true
+		})
+		if done {
+			return
+		}
+	}
+}
+
+func reportHandleReads(pass *Pass, e ast.Expr, handle string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if expr, ok := n.(ast.Expr); ok && types.ExprString(expr) == handle {
+			pass.Reportf(expr.Pos(), "handle %s is read after Cancel without being reset; assign the zero des.Event (or reschedule) first", handle)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestEventHandle(t *testing.T) {
+	runAnalyzerTest(t, EventHandle, "eventhandle", "repro/tools/ehfixture")
+}
+
+// TestEventHandleSkipsDesItself: the DES package manipulates slots and
+// generations directly; the handle discipline is for its clients.
+func TestEventHandleSkipsDes(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./internal/des"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:   EventHandle,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			Directives: ParseDirectives(pkg.Fset, pkg.Files, KnownAnalyzerNames(nil)),
+			diags:      &diags,
+		}
+		EventHandle.Run(pass)
+		if len(diags) != 0 {
+			t.Errorf("eventhandle must skip %s, got %v", pkg.ImportPath, diags)
+		}
+	}
+}

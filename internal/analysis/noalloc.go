@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NoAlloc checks functions annotated //nlft:noalloc — the warm-path
+// functions whose steady state the AllocsPerRun gates pin at zero — for
+// constructs that heap-allocate or force escapes: capturing closures,
+// slice growth outside the pooled self-append idiom, interface boxing,
+// fmt formatting, string building, map/channel/slice construction, and
+// goroutine launches. Cold sub-paths inside an annotated function
+// (panic messages, error returns) are exempted per line with
+// //nlft:allow noalloc and a justification.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "forbid heap-allocating constructs in functions annotated " +
+		"//nlft:noalloc",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !pass.Directives.NoallocFunc(fd) {
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "//nlft:noalloc on a body-less declaration has nothing to check")
+				continue
+			}
+			checkNoallocFunc(pass, fd)
+		}
+	}
+}
+
+func checkNoallocFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	// The pooled-growth idioms `x = append(x, ...)` and
+	// `x = append(x[:n], ...)` are the sanctioned uses of append: the
+	// backing array reaches a steady-state capacity during warm-up and
+	// the warm path appends (or truncate-refills) within it. Collect
+	// those call nodes first so the walk below can skip them.
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
+			return true
+		}
+		base := ast.Unparen(call.Args[0])
+		if slice, ok := base.(*ast.SliceExpr); ok {
+			base = slice.X
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(base) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+
+	var results *types.Tuple
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		results = obj.Type().(*types.Signature).Results()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, n); len(caps) != 0 {
+				pass.Reportf(n.Pos(), "closure captures %s: the closure header and its captured variables escape to the heap", strings.Join(caps, ", "))
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine stack")
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal escapes to the heap unless proven otherwise; take a pooled object instead")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil && isString(t) {
+					pass.Reportf(n.Pos(), "string concatenation allocates a new backing array")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) && n.Tok == token.ASSIGN {
+				for i := range n.Lhs {
+					checkBoxing(pass, n.Rhs[i], info.TypeOf(n.Lhs[i]), "assigning")
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, res := range n.Results {
+					checkBoxing(pass, res, results.At(i).Type(), "returning")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(pass, n, selfAppend)
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(pass *Pass, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	info := pass.Info
+	switch builtinName(info, call) {
+	case "append":
+		if !selfAppend[call] {
+			pass.Reportf(call.Pos(), "append outside the pooled self-append idiom (x = append(x, ...)) may allocate a fresh backing array on every call")
+		}
+		return
+	case "make":
+		if t := info.TypeOf(call); t != nil {
+			pass.Reportf(call.Pos(), "make(%s) allocates", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		} else {
+			pass.Reportf(call.Pos(), "make allocates")
+		}
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "new allocates")
+		return
+	case "":
+		// Not a builtin: a conversion, or a function/method call.
+	default:
+		return // len, cap, copy, ...: allocation-free
+	}
+
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s formats through reflection and allocates", fn.Name())
+		// Fall through: the variadic ...any args box too, but one
+		// diagnostic for the call is enough.
+		return
+	}
+
+	// Interface boxing at call boundaries: passing a concrete
+	// non-pointer value where an interface is expected copies it to the
+	// heap (modulo escape analysis, which the annotation chooses not to
+	// rely on).
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing an existing slice: no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, arg, pt, "passing")
+	}
+}
+
+// callSignature resolves the signature of the called function or
+// function value, or nil for builtins and conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkBoxing reports expr if converting it to dst boxes a concrete
+// value into an interface.
+func checkBoxing(pass *Pass, expr ast.Expr, dst types.Type, verb string) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	src := pass.Info.TypeOf(expr)
+	if src == nil || !boxes(src) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s %s as %s boxes the value on the heap; keep hot-path data behind concrete types or pointers",
+		verb, types.TypeString(src, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+}
+
+// boxes reports whether storing a value of type src in an interface
+// requires a heap copy: true for concrete non-reference types. Types
+// already word-sized references (pointers, channels, maps, funcs,
+// unsafe pointers) are stored directly.
+func boxes(src types.Type) bool {
+	switch u := src.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	default:
+		return true
+	}
+}
+
+func checkConversion(pass *Pass, call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := pass.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isString(dst) && isByteOrRuneSlice(src) {
+		pass.Reportf(call.Pos(), "converting %s to string copies the bytes", types.TypeString(src, types.RelativeTo(pass.Pkg)))
+	}
+	if isByteOrRuneSlice(dst) && isString(src) {
+		pass.Reportf(call.Pos(), "converting string to %s copies the bytes", types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturedVars lists the names of variables a function literal captures
+// from enclosing scopes (excluding package-level variables, which live
+// in static storage).
+func capturedVars(pass *Pass, lit *ast.FuncLit) []string {
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() != pass.Pkg {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true // package-level: no capture
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestNoAlloc(t *testing.T) {
+	runAnalyzerTest(t, NoAlloc, "noalloc", "repro/tools/noallocfixture")
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPackages are the packages whose execution must replay identically
+// given the same seed: everything that runs inside (or aggregates) a
+// simulation. The campaign digest pins (internal/fault) and the
+// telemetry digest pins (internal/obs) cover exactly this set.
+var simPackages = []string{
+	"internal/des",
+	"internal/kernel",
+	"internal/ttnet",
+	"internal/bbw",
+	"internal/node",
+	"internal/fault",
+	"internal/cpu",
+	"internal/obs",
+}
+
+// isSimPackage reports whether the import path belongs to the
+// deterministic-simulation core (any module's internal tree works, so
+// test fixtures can opt in by import path).
+func isSimPackage(path string) bool {
+	for _, s := range simPackages {
+		if i := strings.Index(path, s); i >= 0 {
+			// Match a whole path segment: "…/internal/des" or
+			// "…/internal/des/…", not "…/internal/destroyer".
+			end := i + len(s)
+			if (i == 0 || path[i-1] == '/') && (end == len(path) || path[end] == '/') {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NoDeterminism flags sources of run-to-run nondeterminism inside the
+// simulation packages: wall-clock reads, the global math/rand source,
+// map iteration, and unstable sorting. Each of these can silently
+// perturb event order or digest bytes in ways the golden-digest tests
+// only catch on exercised paths.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid wall-clock reads, global math/rand, map iteration and " +
+		"unstable sorts in simulation packages",
+	Run: runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) {
+	if !isSimPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic and can leak into event order or digests; iterate sorted keys, or annotate //nlft:allow nodeterminism if the loop body is a commutative reduction")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if name := fn.Name(); name == "Now" || name == "Since" || name == "Until" {
+			pass.Reportf(call.Pos(), "time.%s reads the host wall clock; simulated time must come from des.Simulator.Now so runs replay identically", name)
+		}
+	case "math/rand", "math/rand/v2":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() != nil {
+			return // methods on an explicit *rand.Rand carry their own seed
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructing an explicitly-seeded source is fine
+		}
+		pass.Reportf(call.Pos(), "math/rand.%s draws from the process-global source, which is seeded per process and shared across goroutines; use a des.Rand stream (des.NewRand / des.NewRandIndexed)", fn.Name())
+	case "sort":
+		if fn.Name() == "Slice" {
+			pass.Reportf(call.Pos(), "sort.Slice is unstable: elements equal under the comparator land in nondeterministic order; use sort.SliceStable or a comparator that is a total order, or annotate //nlft:allow nodeterminism if the comparator provably never ties")
+		}
+	}
+}

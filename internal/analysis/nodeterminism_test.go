@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestNoDeterminism(t *testing.T) {
+	runAnalyzerTest(t, NoDeterminism, "nodeterminism", "repro/internal/kernel/ndfixture")
+}
+
+// TestNoDeterminismScope: the same violations in a package outside the
+// simulation core are not the analyzer's business.
+func TestNoDeterminismScope(t *testing.T) {
+	pkg := fixturePackage(t, "scopecheck", "repro/tools/scopecheck")
+	if diags := Check(pkg, []*Analyzer{NoDeterminism}); len(diags) != 0 {
+		t.Errorf("want no diagnostics outside simulation packages, got %v", diags)
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/des", true},
+		{"repro/internal/des/sub", true},
+		{"repro/internal/kernel", true},
+		{"repro/internal/destroyer", false},
+		{"repro/internal/sharpe", false},
+		{"repro/cmd/faultcampaign", false},
+		{"internal/des", true},
+	}
+	for _, c := range cases {
+		if got := isSimPackage(c.path); got != c.want {
+			t.Errorf("isSimPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+func TestRNGStream(t *testing.T) {
+	runAnalyzerTest(t, RNGStream, "rngstream", "repro/internal/fault/rngfixture")
+}
+
+// TestRNGStreamScope: outside campaign/worker code, explicit seeding is
+// a model-level choice (e.g. internal/node derives per-node streams)
+// and is not flagged.
+func TestRNGStreamScope(t *testing.T) {
+	pkg := fixturePackage(t, "scopecheck", "repro/internal/node/scopecheck")
+	if diags := Check(pkg, []*Analyzer{RNGStream}); len(diags) != 0 {
+		t.Errorf("want no diagnostics outside campaign packages, got %v", diags)
+	}
+}
+
+func TestIsRNGScoped(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/fault", true},
+		{"repro/cmd/faultcampaign", true},
+		{"repro/internal/node", false},
+		{"repro/internal/faulttree", false},
+		{"cmd", true},
+	}
+	for _, c := range cases {
+		if got := isRNGScoped(c.path); got != c.want {
+			t.Errorf("isRNGScoped(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Fixture for the eventhandle analyzer: pooled des.Event handle
+// discipline in client code.
+package ehfixture
+
+import "repro/internal/des"
+
+// guarded stores a handle the sanctioned way: every stored handle is
+// canceled (or liveness-checked) through the simulator that issued it.
+type guarded struct {
+	sim *des.Simulator
+	ev  des.Event
+}
+
+func (g *guarded) arm(at des.Time) {
+	g.sim.Cancel(g.ev)
+	g.ev = g.sim.Schedule(at, des.PrioKernel, g.fire)
+}
+
+func (g *guarded) fire() {}
+
+func (g *guarded) pending() bool { return g.sim.Scheduled(g.ev) }
+
+// guardedArray stores handles in an array field, guarded through an
+// index expression.
+type guardedArray struct {
+	sim     *des.Simulator
+	pending [2]des.Event
+}
+
+func (g *guardedArray) disarm(i int) {
+	g.sim.Cancel(g.pending[i])
+	g.pending[i] = des.Event{}
+}
+
+type unguarded struct {
+	ev des.Event // want `stores a pooled des\.Event handle but the package never guards it`
+}
+
+func storeUnguarded(u *unguarded, s *des.Simulator, at des.Time) {
+	u.ev = s.Schedule(at, des.PrioKernel, func() {})
+}
+
+func compare(a, b des.Event) bool {
+	if a == b { // want `comparing two des\.Event handles`
+		return true
+	}
+	if a == (des.Event{}) { // zero "no event pending" sentinel: fine
+		return false
+	}
+	//nlft:allow eventhandle identity comparison intended: both handles come from the same Schedule call
+	return a != b
+}
+
+func useAfterCancel(s *des.Simulator, e des.Event) bool {
+	s.Cancel(e)
+	return s.Scheduled(e) // want `handle e is read after Cancel`
+}
+
+func cancelThenReset(s *des.Simulator, e des.Event) des.Event {
+	s.Cancel(e)
+	e = des.Event{}
+	return e
+}

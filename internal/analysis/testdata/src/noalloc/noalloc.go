@@ -1,0 +1,90 @@
+// Fixture for the noalloc analyzer: every construct it must flag, the
+// sanctioned idioms it must not, and the //nlft:allow escape hatch.
+package noallocfixture
+
+import "fmt"
+
+type sink struct {
+	buf  []int
+	pool []int
+}
+
+var global int
+
+//nlft:noalloc
+func hotClosure(n int) func() int {
+	return func() int { return n } // want `closure captures n`
+}
+
+//nlft:noalloc
+func hotStaticClosure() func() int {
+	// Package-level variables live in static storage: referencing them
+	// is not a capture and the literal compiles to a static closure.
+	return func() int { return global }
+}
+
+//nlft:noalloc
+func (s *sink) hotAppend(v int, other []int) {
+	s.pool = append(s.pool, v)            // pooled self-append: sanctioned
+	s.pool = append(s.pool[:0], other...) // truncate-refill of the pooled backing: sanctioned
+	s.buf = append(other, v)              // want `append outside the pooled self-append idiom`
+}
+
+//nlft:noalloc
+func hotMake() map[int]int {
+	ch := make(chan int) // want `make\(chan int\) allocates`
+	_ = ch
+	return make(map[int]int) // want `make\(map\[int\]int\) allocates`
+}
+
+//nlft:noalloc
+func hotNew() *sink {
+	return new(sink) // want `new allocates`
+}
+
+//nlft:noalloc
+func hotFmt(v int) {
+	fmt.Println(v) // want `fmt\.Println formats through reflection`
+}
+
+//nlft:noalloc
+func hotBox(v int) any {
+	return v // want `returning int as any boxes the value`
+}
+
+//nlft:noalloc
+func hotBoxArg(v [4]uint64) {
+	eat(v) // want `passing \[4\]uint64 as any boxes the value`
+	eatPtr(&v)
+}
+
+func eat(any)           {}
+func eatPtr(*[4]uint64) {}
+
+//nlft:noalloc
+func hotString(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//nlft:noalloc
+func hotConvert(b []byte) string {
+	return string(b) // want `converting \[\]byte to string copies the bytes`
+}
+
+//nlft:noalloc
+func hotGo(f func()) {
+	go f() // want `go statement allocates a goroutine stack`
+}
+
+//nlft:noalloc
+func hotColdPath(ok bool) {
+	if !ok {
+		//nlft:allow noalloc cold failure path, never taken in a warm hyperperiod
+		panic(fmt.Sprintf("bad state %v", ok))
+	}
+}
+
+// coldUnannotated carries no annotation, so nothing in it is checked.
+func coldUnannotated() []int {
+	return append([]int{}, 1, 2, 3)
+}

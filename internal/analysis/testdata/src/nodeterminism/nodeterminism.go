@@ -1,0 +1,43 @@
+// Fixture for the nodeterminism analyzer. Loaded under a simulation
+// import path so the scope check applies.
+package ndfixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()     // want `time\.Now reads the host wall clock`
+	return time.Since(t0) // want `time\.Since reads the host wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the process-global source`
+}
+
+// seededRand constructs an explicitly-seeded source, which is
+// deterministic and therefore not flagged; drawing from the stream via
+// its methods is likewise fine.
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func mapIter(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	//nlft:allow nodeterminism commutative sum: iteration order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sortSlices(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is unstable`
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,22 @@
+// Fixture full of violations but carrying no want comments: the scoped
+// analyzers (nodeterminism, rngstream) must report nothing when this
+// package is loaded under an import path outside their scope.
+package scopecheck
+
+import (
+	"time"
+
+	"repro/internal/des"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func rootStream(seed uint64) *des.Rand { return des.NewRand(seed) }
+
+func mapIter(m map[int]int) int {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	return total
+}

@@ -311,8 +311,11 @@ func (s *System) Node(name string) (*node.HostedNode, error) {
 }
 
 // scheduleStep drives the physics and sensor refresh.
+//
+//nlft:noalloc
 func (s *System) scheduleStep() {
 	if s.stepFn == nil {
+		//nlft:allow noalloc bound once on the first call and reused every period thereafter
 		s.stepFn = func() {
 			s.step()
 			s.scheduleStep()
@@ -322,6 +325,8 @@ func (s *System) scheduleStep() {
 }
 
 // step advances the vehicle and refreshes every node's sensors.
+//
+//nlft:noalloc
 func (s *System) step() {
 	var forces [4]float64
 	for i, wheel := range s.Wheels {
@@ -348,8 +353,11 @@ func (s *System) step() {
 }
 
 // scheduleSample records the braking trace.
+//
+//nlft:noalloc
 func (s *System) scheduleSample() {
 	if s.sampleFn == nil {
+		//nlft:allow noalloc bound once on the first call and reused every period thereafter
 		s.sampleFn = func() {
 			var forces [4]float64
 			for i, wheel := range s.Wheels {

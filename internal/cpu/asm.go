@@ -300,6 +300,7 @@ func (a *assembler) statement(line string, emit bool) error {
 
 var mnemonicTable = func() map[string]Opcode {
 	m := make(map[string]Opcode, len(opSpecs))
+	//nlft:allow nodeterminism key-for-key map inversion; insertion order cannot affect the resulting table
 	for op, info := range opSpecs {
 		m[info.name] = op
 	}

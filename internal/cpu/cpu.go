@@ -169,6 +169,8 @@ func (c *CPU) FlipPC(bit uint) {
 func (c *CPU) InjectALUFault(mask uint32) { c.aluFaultMask = mask }
 
 // applyALUFault consumes any pending ALU fault.
+//
+//nlft:noalloc
 func (c *CPU) applyALUFault(v uint32) uint32 {
 	if c.aluFaultMask != 0 {
 		v ^= c.aluFaultMask
@@ -178,6 +180,8 @@ func (c *CPU) applyALUFault(v uint32) uint32 {
 }
 
 // load checks the MMU then reads memory.
+//
+//nlft:noalloc
 func (c *CPU) load(addr uint32) (uint32, *Exception) {
 	if exc := c.MMU.Check(addr, PermRead); exc != nil {
 		return 0, exc
@@ -186,6 +190,8 @@ func (c *CPU) load(addr uint32) (uint32, *Exception) {
 }
 
 // store checks the MMU then writes memory.
+//
+//nlft:noalloc
 func (c *CPU) store(addr, v uint32) *Exception {
 	if exc := c.MMU.Check(addr, PermWrite); exc != nil {
 		return exc
@@ -194,6 +200,8 @@ func (c *CPU) store(addr, v uint32) *Exception {
 }
 
 // setFlags updates condition codes from a subtraction a−b.
+//
+//nlft:noalloc
 func (c *CPU) setFlags(a, b uint32) {
 	d := a - b
 	c.Flags.Z = d == 0
@@ -205,14 +213,19 @@ func (c *CPU) setFlags(a, b uint32) {
 }
 
 // signedLess reports a<b under the current flags (N xor V), as set by CMP.
+//
+//nlft:noalloc
 func (c *CPU) signedLess() bool { return c.Flags.N != c.Flags.V }
 
 // Step executes one instruction. It returns the event raised by SYS/SIG
 // instructions (zero Event otherwise) and a non-nil exception when a
 // hardware EDM trapped (including ExcHalt for HALT). The cycle cost of
 // the instruction is added to Cycles even when it traps.
+//
+//nlft:noalloc
 func (c *CPU) Step() (Event, *Exception) {
 	pc := c.PC
+	//nlft:allow noalloc non-escaping local helper; inlined and stack-allocated on the fault-free path
 	fail := func(e *Exception) (Event, *Exception) {
 		e.PC = pc
 		return Event{}, e
@@ -229,7 +242,7 @@ func (c *CPU) Step() (Event, *Exception) {
 	d, ok := decode(word)
 	if !ok {
 		c.Cycles++
-		return fail(&Exception{Kind: ExcIllegalOpcode, Addr: pc})
+		return fail(&Exception{Kind: ExcIllegalOpcode, Addr: pc}) //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	c.Cycles += d.info.cycles
 	c.Retired++
@@ -239,7 +252,7 @@ func (c *CPU) Step() (Event, *Exception) {
 	switch d.op {
 	case OpNop:
 	case OpHalt:
-		return fail(&Exception{Kind: ExcHalt, Addr: pc})
+		return fail(&Exception{Kind: ExcHalt, Addr: pc}) //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	case OpMovi:
 		c.Regs[d.rd] = uint32(d.imm)
 	case OpMovhi:
@@ -254,12 +267,12 @@ func (c *CPU) Step() (Event, *Exception) {
 		c.Regs[d.rd] = c.applyALUFault(c.Regs[d.ra] * c.Regs[d.rb])
 	case OpDiv:
 		if c.Regs[d.rb] == 0 {
-			return fail(&Exception{Kind: ExcDivZero, Addr: pc})
+			return fail(&Exception{Kind: ExcDivZero, Addr: pc}) //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 		}
 		c.Regs[d.rd] = c.applyALUFault(uint32(int32(c.Regs[d.ra]) / int32(c.Regs[d.rb])))
 	case OpMod:
 		if c.Regs[d.rb] == 0 {
-			return fail(&Exception{Kind: ExcDivZero, Addr: pc})
+			return fail(&Exception{Kind: ExcDivZero, Addr: pc}) //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 		}
 		c.Regs[d.rd] = c.applyALUFault(uint32(int32(c.Regs[d.ra]) % int32(c.Regs[d.rb])))
 	case OpAnd:
@@ -321,13 +334,15 @@ func (c *CPU) Step() (Event, *Exception) {
 	case OpSys:
 		ev.Sys = d.imm
 	default:
-		return fail(&Exception{Kind: ExcIllegalOpcode, Addr: pc})
+		return fail(&Exception{Kind: ExcIllegalOpcode, Addr: pc}) //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	c.PC = next
 	return ev, nil
 }
 
 // branchTaken evaluates a conditional branch against the flags.
+//
+//nlft:noalloc
 func (c *CPU) branchTaken(op Opcode) bool {
 	switch op {
 	case OpJmp:
@@ -352,6 +367,8 @@ func (c *CPU) branchTaken(op Opcode) bool {
 // Run executes instructions until an event with Sys != 0, an exception,
 // or maxInstructions retire. It returns the final event and exception
 // (nil when the instruction budget ran out first).
+//
+//nlft:noalloc
 func (c *CPU) Run(maxInstructions uint64) (Event, *Exception) {
 	for i := uint64(0); i < maxInstructions; i++ {
 		ev, exc := c.Step()
@@ -370,6 +387,8 @@ func (c *CPU) Run(maxInstructions uint64) (Event, *Exception) {
 // the exception (nil if the cycle budget ran out), and the cycles
 // actually consumed. This is the co-simulation entry point: the kernel
 // bounds each run slice by the time until the next simulation event.
+//
+//nlft:noalloc
 func (c *CPU) RunCycles(maxCycles uint64) (Event, *Exception, uint64) {
 	start := c.Cycles
 	for c.Cycles-start < maxCycles {

@@ -146,6 +146,7 @@ var opSpecs = map[Opcode]opInfo{
 // interpreter's hottest path. The zero opFormat marks an unassigned
 // opcode (illegal-opcode EDM).
 var opTable = func() (t [256]opInfo) {
+	//nlft:allow nodeterminism each key lands in its own array slot; iteration order cannot affect the table
 	for op, info := range opSpecs {
 		t[op] = info
 	}

@@ -60,30 +60,36 @@ func (m *Memory) SizeBytes() uint32 { return uint32(len(m.words)) * 4 }
 func (m *Memory) ECCEnabled() bool { return m.ecc }
 
 // inRAM reports whether a byte address falls inside RAM.
+//
+//nlft:noalloc
 func (m *Memory) inRAM(addr uint32) bool { return addr/4 < uint32(len(m.words)) }
 
 // isIO reports whether a byte address falls inside the I/O window.
+//
+//nlft:noalloc
 func isIO(addr uint32) bool { return addr >= IOBase }
 
 // Load reads the word at a byte address. It returns an exception for
 // misalignment (address error), out-of-range access (bus error), or an
 // uncorrectable ECC error.
+//
+//nlft:noalloc
 func (m *Memory) Load(addr uint32) (uint32, *Exception) {
 	if addr%4 != 0 {
-		return 0, &Exception{Kind: ExcAddressError, Addr: addr}
+		return 0, &Exception{Kind: ExcAddressError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	if isIO(addr) {
 		if m.io == nil {
-			return 0, &Exception{Kind: ExcBusError, Addr: addr}
+			return 0, &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 		}
 		v, err := m.io.LoadPort((addr - IOBase) / 4)
 		if err != nil {
-			return 0, &Exception{Kind: ExcBusError, Addr: addr}
+			return 0, &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 		}
 		return v, nil
 	}
 	if !m.inRAM(addr) {
-		return 0, &Exception{Kind: ExcBusError, Addr: addr}
+		return 0, &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	idx := addr / 4
 	if m.ecc {
@@ -98,7 +104,7 @@ func (m *Memory) Load(addr uint32) (uint32, *Exception) {
 			default:
 				// Multi-bit: uncorrectable, detected by SEC-DED.
 				delete(m.pendingFlips, idx)
-				return 0, &Exception{Kind: ExcECCError, Addr: addr}
+				return 0, &Exception{Kind: ExcECCError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 			}
 		}
 	}
@@ -108,21 +114,23 @@ func (m *Memory) Load(addr uint32) (uint32, *Exception) {
 // Store writes the word at a byte address, with the same fault semantics
 // as Load. A store to a word with a pending ECC error overwrites the
 // whole codeword, clearing the error.
+//
+//nlft:noalloc
 func (m *Memory) Store(addr, value uint32) *Exception {
 	if addr%4 != 0 {
-		return &Exception{Kind: ExcAddressError, Addr: addr}
+		return &Exception{Kind: ExcAddressError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	if isIO(addr) {
 		if m.io == nil {
-			return &Exception{Kind: ExcBusError, Addr: addr}
+			return &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 		}
 		if err := m.io.StorePort((addr-IOBase)/4, value); err != nil {
-			return &Exception{Kind: ExcBusError, Addr: addr}
+			return &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 		}
 		return nil
 	}
 	if !m.inRAM(addr) {
-		return &Exception{Kind: ExcBusError, Addr: addr}
+		return &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	idx := addr / 4
 	if m.ecc {
@@ -133,8 +141,11 @@ func (m *Memory) Store(addr, value uint32) *Exception {
 }
 
 // Poke writes a word without fault semantics (loader/kernel use).
+//
+//nlft:noalloc
 func (m *Memory) Poke(addr, value uint32) {
 	if addr%4 != 0 || !m.inRAM(addr) {
+		//nlft:allow noalloc panic message on a kernel addressing bug; unreachable on correct task layouts
 		panic(fmt.Sprintf("cpu: poke at %#x", addr))
 	}
 	idx := addr / 4
@@ -145,8 +156,11 @@ func (m *Memory) Poke(addr, value uint32) {
 }
 
 // Peek reads a word without fault semantics (ignores pending ECC state).
+//
+//nlft:noalloc
 func (m *Memory) Peek(addr uint32) uint32 {
 	if addr%4 != 0 || !m.inRAM(addr) {
+		//nlft:allow noalloc panic message on a kernel addressing bug; unreachable on correct task layouts
 		panic(fmt.Sprintf("cpu: peek at %#x", addr))
 	}
 	return m.words[addr/4]
@@ -194,6 +208,8 @@ type Region struct {
 }
 
 // Contains reports whether addr is inside the region with perm allowed.
+//
+//nlft:noalloc
 func (r Region) Contains(addr uint32, perm Perm) bool {
 	return addr >= r.Start && addr < r.End && r.Perms&perm == perm
 }
@@ -226,6 +242,8 @@ func (u *MMU) Enabled() bool { return u.enabled }
 
 // Check validates an access; a violation increments Violations and
 // returns an MMU exception.
+//
+//nlft:noalloc
 func (u *MMU) Check(addr uint32, perm Perm) *Exception {
 	if !u.enabled {
 		return nil
@@ -236,5 +254,5 @@ func (u *MMU) Check(addr uint32, perm Perm) *Exception {
 		}
 	}
 	u.Violations++
-	return &Exception{Kind: ExcMMUViolation, Addr: addr}
+	return &Exception{Kind: ExcMMUViolation, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 }

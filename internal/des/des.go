@@ -148,6 +148,8 @@ func (s *Simulator) Pending() int { return len(s.heap) - s.lazy }
 
 // Scheduled reports whether e refers to an event that is still queued
 // and not canceled. A fired, canceled or zero handle reports false.
+//
+//nlft:noalloc
 func (s *Simulator) Scheduled(e Event) bool {
 	if e.gen == 0 || int(e.slot) >= len(s.pool) {
 		return false
@@ -158,6 +160,8 @@ func (s *Simulator) Scheduled(e Event) bool {
 
 // less orders two pooled events by (instant, tie-break priority,
 // insertion sequence).
+//
+//nlft:noalloc
 func (s *Simulator) less(a, b int32) bool {
 	x, y := &s.pool[a], &s.pool[b]
 	if x.at != y.at {
@@ -175,6 +179,7 @@ func (s *Simulator) less(a, b int32) bool {
 // levels — the winning trade when the comparison is three integer fields
 // in a flat slot array.
 
+//nlft:noalloc
 func (s *Simulator) siftUp(i int) {
 	h := s.heap
 	for i > 0 {
@@ -187,6 +192,7 @@ func (s *Simulator) siftUp(i int) {
 	}
 }
 
+//nlft:noalloc
 func (s *Simulator) siftDown(i int) {
 	h := s.heap
 	n := len(h)
@@ -214,6 +220,8 @@ func (s *Simulator) siftDown(i int) {
 }
 
 // popRoot removes the heap minimum (the caller has already read it).
+//
+//nlft:noalloc
 func (s *Simulator) popRoot() {
 	n := len(s.heap) - 1
 	s.heap[0] = s.heap[n]
@@ -225,6 +233,8 @@ func (s *Simulator) popRoot() {
 
 // freeSlot recycles a slot for reuse, bumping its generation so any
 // outstanding handle to the old occupant goes dead.
+//
+//nlft:noalloc
 func (s *Simulator) freeSlot(idx int32) {
 	sl := &s.pool[idx]
 	sl.gen++
@@ -239,8 +249,11 @@ func (s *Simulator) freeSlot(idx int32) {
 // Schedule queues fn to run at instant at with the given same-instant
 // tie-break priority. Scheduling in the past panics: it indicates a model
 // bug that would otherwise silently corrupt causality.
+//
+//nlft:noalloc
 func (s *Simulator) Schedule(at Time, prio int, fn func()) Event {
 	if at < s.now {
+		//nlft:allow noalloc panic message on a causality bug; never built on a correct model
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
 	}
 	if fn == nil {
@@ -266,6 +279,8 @@ func (s *Simulator) Schedule(at Time, prio int, fn func()) Event {
 }
 
 // After queues fn to run d after the current instant at kernel priority.
+//
+//nlft:noalloc
 func (s *Simulator) After(d Time, fn func()) Event {
 	return s.Schedule(s.now+d, PrioKernel, fn)
 }
@@ -276,6 +291,8 @@ func (s *Simulator) After(d Time, fn func()) Event {
 // slot that has since been recycled for an unrelated event. The entry
 // stays in the heap as a lazy tombstone and is discarded when it
 // surfaces, or swept early when tombstones dominate the queue.
+//
+//nlft:noalloc
 func (s *Simulator) Cancel(e Event) {
 	if e.gen == 0 || int(e.slot) >= len(s.pool) {
 		return
@@ -295,6 +312,8 @@ func (s *Simulator) Cancel(e Event) {
 // compact sweeps lazily-canceled entries out of the heap and rebuilds it
 // in place (Floyd's O(n) heapify). Triggered from Cancel when at least
 // half the heap is tombstones, so the amortized cost per cancel is O(1).
+//
+//nlft:noalloc
 func (s *Simulator) compact() {
 	live := s.heap[:0]
 	for _, idx := range s.heap {
@@ -317,6 +336,8 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 // Step fires the next queued event, advancing the clock to its instant.
 // It reports false when the queue is empty.
+//
+//nlft:noalloc
 func (s *Simulator) Step() bool {
 	for len(s.heap) > 0 {
 		idx := s.heap[0]
@@ -343,6 +364,8 @@ func (s *Simulator) Step() bool {
 
 // Run fires events until the queue drains or Stop is called. It returns
 // nil on a drained queue and ErrStopped if stopped.
+//
+//nlft:noalloc
 func (s *Simulator) Run() error {
 	s.stopped = false
 	for !s.stopped {
@@ -356,8 +379,11 @@ func (s *Simulator) Run() error {
 // RunUntil fires events up to and including instant t, then advances the
 // clock to exactly t. Events scheduled after t stay queued. It returns
 // ErrStopped if Stop was called.
+//
+//nlft:noalloc
 func (s *Simulator) RunUntil(t Time) error {
 	if t < s.now {
+		//nlft:allow noalloc error construction on a misuse path, not taken during a run
 		return fmt.Errorf("des: run until %v before now %v", t, s.now)
 	}
 	s.stopped = false
@@ -374,6 +400,8 @@ func (s *Simulator) RunUntil(t Time) error {
 
 // peek reports the instant of the next live event without firing it,
 // discarding canceled entries that surface at the root.
+//
+//nlft:noalloc
 func (s *Simulator) peek() (Time, bool) {
 	for len(s.heap) > 0 {
 		idx := s.heap[0]
@@ -390,6 +418,8 @@ func (s *Simulator) peek() (Time, bool) {
 // NextEventAt reports the instant of the next live event, or MaxTime when
 // the queue is empty. Co-simulated components (the CPU interpreter) use it
 // to bound how long they may run before yielding back to the event loop.
+//
+//nlft:noalloc
 func (s *Simulator) NextEventAt() Time {
 	at, ok := s.peek()
 	if !ok {
@@ -410,6 +440,8 @@ func (s *Simulator) NextEventAt() Time {
 // through the few entries at or before t — same-instant leftovers and
 // lazy-canceled tombstones — and prunes everything already beaten by the
 // best candidate.
+//
+//nlft:noalloc
 func (s *Simulator) NextEventAfter(t Time) Time {
 	best := MaxTime
 	h := s.heap

@@ -132,6 +132,7 @@ type Result struct {
 // Activated is the number of faults that produced an error.
 func (r *Result) Activated() int {
 	total := 0
+	//nlft:allow nodeterminism commutative sum; iteration order cannot affect the total
 	for o, n := range r.Counts {
 		if o != NotActivated {
 			total += n
@@ -159,6 +160,7 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "  P_OM = %v\n", r.POM)
 	fmt.Fprintf(&b, "  P_FS = %v\n", r.PFS)
 	mechs := make([]string, 0, len(r.ByMechanism))
+	//nlft:allow nodeterminism collection order is erased by the sort.Strings below
 	for m := range r.ByMechanism {
 		mechs = append(mechs, m)
 	}
@@ -198,16 +200,20 @@ func (t *tally) record(rec *TrialRecord) {
 }
 
 func (t *tally) mergeInto(res *Result) {
+	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 	for o, n := range t.counts {
 		res.Counts[o] += n
 	}
+	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 	for m, n := range t.byMechanism {
 		res.ByMechanism[m] += n
 	}
+	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 	for target, counts := range t.byTarget {
 		if res.ByTarget[target] == nil {
 			res.ByTarget[target] = make(map[Outcome]int)
 		}
+		//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 		for o, n := range counts {
 			res.ByTarget[target][o] += n
 		}
@@ -509,6 +515,7 @@ func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write, scr
 	// copy them into a right-sized slice for the record.
 	mechs := scratch.mechs[:0]
 	st := inst.Kernel.Stats()
+	//nlft:allow nodeterminism collection order is erased by the sort.Strings below
 	for m, n := range st.ErrorsDetected {
 		if n > 0 {
 			mechs = append(mechs, m)

@@ -221,6 +221,7 @@ func (k *Kernel) Proc() *cpu.CPU { return k.proc }
 func (k *Kernel) Stats() Stats {
 	s := k.stats
 	s.ErrorsDetected = make(map[string]uint64, len(k.stats.ErrorsDetected))
+	//nlft:allow nodeterminism key-for-key map copy; iteration order cannot affect the copy
 	for m, n := range k.stats.ErrorsDetected {
 		s.ErrorsDetected[m] = n
 	}
@@ -394,6 +395,8 @@ var obsKinds = map[EventKind]obs.Kind{
 // the structured telemetry stream. Release records carry the task's
 // criticality as the telemetry detail so stream consumers (the invariant
 // checker) can tell TEM tasks from single-copy ones.
+//
+//nlft:noalloc
 func (k *Kernel) trace(kind EventKind, task string, copyIdx int, detail string) {
 	if k.cfg.Trace == nil && k.cfg.Obs == nil {
 		return
@@ -422,6 +425,8 @@ func (k *Kernel) countDetected(task, mechanism string) {
 }
 
 // release activates one job of t and schedules the next release.
+//
+//nlft:noalloc
 func (k *Kernel) release(t *tcb) {
 	if k.failed {
 		return
@@ -480,6 +485,8 @@ func (k *Kernel) release(t *tcb) {
 // event outliving a deadline omission at the same instant — can never
 // observe a new incarnation of its job. Slice backings survive the reset
 // ([:0]), which is what makes steady-state releases allocation-free.
+//
+//nlft:noalloc
 func (k *Kernel) acquireJob(t *tcb) *job {
 	var j *job
 	for i := len(t.freeJobs) - 1; i >= 0; i-- {
@@ -492,12 +499,13 @@ func (k *Kernel) acquireJob(t *tcb) *job {
 		break
 	}
 	if j == nil {
+		//nlft:allow noalloc cold pool-miss path: one job record per concurrency level, amortized to zero
 		j = &job{task: t}
-		j.deadlineFn = func() { k.deadlineCheck(j) }
-		j.runSliceFn = func() { k.runSlice(j) }
-		j.resumeFn = func() { k.dispatchIfCurrent(j) }
-		j.completeFn = func() { k.copyComplete(j) }
-		j.errorFn = func() { k.handleDetectedError(j, j.pendingMech) }
+		j.deadlineFn = func() { k.deadlineCheck(j) }                   //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
+		j.runSliceFn = func() { k.runSlice(j) }                        //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
+		j.resumeFn = func() { k.dispatchIfCurrent(j) }                 //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
+		j.completeFn = func() { k.copyComplete(j) }                    //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
+		j.errorFn = func() { k.handleDetectedError(j, j.pendingMech) } //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
 	}
 	j.state = jobReady
 	j.copyIndex = 1
@@ -516,11 +524,15 @@ func (k *Kernel) acquireJob(t *tcb) *job {
 }
 
 // retireJob returns a settled job record to its task's free list.
+//
+//nlft:noalloc
 func (k *Kernel) retireJob(j *job) {
 	j.task.freeJobs = append(j.task.freeJobs, j)
 }
 
 // scheduleDispatch arranges a dispatch pass after the current events.
+//
+//nlft:noalloc
 func (k *Kernel) scheduleDispatch() {
 	if k.dispatchPending || k.failed {
 		return
@@ -530,6 +542,8 @@ func (k *Kernel) scheduleDispatch() {
 }
 
 // pickBest returns the highest-priority ready job.
+//
+//nlft:noalloc
 func (k *Kernel) pickBest() *job {
 	var best *job
 	for _, j := range k.ready {
@@ -544,6 +558,8 @@ func (k *Kernel) pickBest() *job {
 }
 
 // removeJob drops a job from the ready set.
+//
+//nlft:noalloc
 func (k *Kernel) removeJob(j *job) {
 	for i, other := range k.ready {
 		if other == j {
@@ -554,6 +570,8 @@ func (k *Kernel) removeJob(j *job) {
 }
 
 // dispatch selects the job to run and starts (or continues) a run slice.
+//
+//nlft:noalloc
 func (k *Kernel) dispatch() {
 	k.dispatchPending = false
 	if k.failed {
@@ -596,6 +614,8 @@ func (k *Kernel) dispatch() {
 
 // startCopy initializes a fresh copy: context from the TCB template and
 // the state region from the release snapshot (replica determinism).
+//
+//nlft:noalloc
 func (k *Kernel) startCopy(j *job) {
 	t := j.task
 	var snap cpu.Snapshot
@@ -613,12 +633,16 @@ func (k *Kernel) startCopy(j *job) {
 }
 
 // budgetCycles converts the task's per-copy budget to cycles.
+//
+//nlft:noalloc
 func (k *Kernel) budgetCycles(t *tcb) uint64 {
 	return uint64(t.spec.Budget / k.cyclePeriod)
 }
 
 // runSlice runs the current job on the CPU until the next simulation
 // event, its budget, an exception, or copy completion.
+//
+//nlft:noalloc
 func (k *Kernel) runSlice(j *job) {
 	if k.failed || k.current != j || j.state == jobDone {
 		return
@@ -703,6 +727,8 @@ func (k *Kernel) runSlice(j *job) {
 }
 
 // dispatchIfCurrent continues j if it is still the best choice.
+//
+//nlft:noalloc
 func (k *Kernel) dispatchIfCurrent(j *job) {
 	if k.failed || j.state == jobDone {
 		return
@@ -714,9 +740,12 @@ func (k *Kernel) dispatchIfCurrent(j *job) {
 // job's next result slot, reusing the slot's backing arrays. The slot is
 // claimed (nresults advanced) only when copyComplete accepts the copy, so
 // a discarded copy's data is simply overwritten by the next capture.
+//
+//nlft:noalloc
 func (k *Kernel) captureResult(j *job) {
 	t := j.task
 	if j.nresults >= len(j.results) {
+		//nlft:allow noalloc panic message on a state-machine bug; unreachable in a correct kernel
 		panic(fmt.Sprintf("kernel: %d results for task %s", j.nresults+1, t.spec.Name))
 	}
 	res := &j.results[j.nresults]
@@ -730,6 +759,8 @@ func (k *Kernel) captureResult(j *job) {
 
 // timeForAnotherCopy checks the paper's deadline test: can one more copy
 // (conservatively, a full budget) finish before the job's deadline?
+//
+//nlft:noalloc
 func (k *Kernel) timeForAnotherCopy(j *job) bool {
 	return k.sim.Now()+j.task.spec.Budget <= j.deadline
 }
@@ -782,6 +813,8 @@ func (k *Kernel) handleDetectedError(j *job, mechanism string) {
 // copyComplete advances the TEM state machine after a copy finished
 // normally (Figure 3). The copy's result sits in the job's next result
 // slot, captured at slice end.
+//
+//nlft:noalloc
 func (k *Kernel) copyComplete(j *job) {
 	if k.failed || j.state == jobDone {
 		return
@@ -795,6 +828,7 @@ func (k *Kernel) copyComplete(j *job) {
 		t.obsCopyCycles.Observe(j.cyclesUsed)
 	}
 	if k.cfg.Trace != nil || k.cfg.Obs != nil {
+		//nlft:allow noalloc trace detail built only when a trace or telemetry sink is attached; the zero-alloc gate runs detached
 		k.trace(TraceCopyEnd, t.spec.Name, j.copyIndex, fmt.Sprintf("crc=%08x", res.crc()))
 	}
 	j.state = jobReady
@@ -875,11 +909,14 @@ func (k *Kernel) copyComplete(j *job) {
 		k.trace(TraceVote, t.spec.Name, 0, "majority found")
 		k.commit(j, winner)
 	default:
+		//nlft:allow noalloc panic message on a state-machine bug; unreachable in a correct kernel
 		panic(fmt.Sprintf("kernel: %d results for task %s", j.nresults, t.spec.Name))
 	}
 }
 
 // resultsEqual compares two copy results under the configured scope.
+//
+//nlft:noalloc
 func (k *Kernel) resultsEqual(a, b *copyResult) bool {
 	if k.cfg.CompareOutputsOnly {
 		if len(a.writes) != len(b.writes) {
@@ -900,6 +937,8 @@ func (k *Kernel) resultsEqual(a, b *copyResult) bool {
 // results leave the node (§2.5: "the task result is delivered and the
 // state data are only updated when two matching results have been
 // produced").
+//
+//nlft:noalloc
 func (k *Kernel) commit(j *job, res *copyResult) {
 	t := j.task
 	j.state = jobDone
@@ -928,6 +967,7 @@ func (k *Kernel) commit(j *job, res *copyResult) {
 	k.trace(TraceCommit, t.spec.Name, 0, outcome.String())
 	k.emitOutcome(j, outcome)
 	if t.consecutiveErrors >= k.cfg.PermanentThreshold {
+		//nlft:allow noalloc permanent-fault suspicion message; reached only after consecutive error releases
 		k.failSilent(fmt.Sprintf("suspected permanent fault: %d consecutive error releases of %s",
 			t.consecutiveErrors, t.spec.Name))
 		return
@@ -987,6 +1027,8 @@ func (k *Kernel) deadlineCheck(j *job) {
 }
 
 // emitOutcome counts the release outcome and invokes the outcome hook.
+//
+//nlft:noalloc
 func (k *Kernel) emitOutcome(j *job, o Outcome) {
 	if k.cfg.Obs != nil {
 		k.cfg.Obs.Counter("kernel.outcomes", j.task.spec.Name, o.String()).Inc()
@@ -1000,7 +1042,8 @@ func (k *Kernel) emitOutcome(j *job, o Outcome) {
 		SettledAt:      k.sim.Now(),
 		Outcome:        o,
 		ErrorsDetected: j.errorsDetected,
-		DetectedBy:     append([]string(nil), j.detectedBy...),
+		//nlft:allow noalloc hook payload clones the slice for the consumer; the zero-alloc gate runs with no hook
+		DetectedBy: append([]string(nil), j.detectedBy...),
 	})
 }
 
@@ -1042,8 +1085,11 @@ func (k *Kernel) ForceFailSilent(reason string) { k.failSilent(reason) }
 // The latch is a slice parallel to the spec's InputPorts; the linear
 // scan beats a map for the handful of ports a task declares and keeps
 // the I/O path allocation-free.
+//
+//nlft:noalloc
 func (k *Kernel) LoadPort(port uint32) (uint32, error) {
 	if k.current == nil {
+		//nlft:allow noalloc error on a bus access with no running task; unreachable from kernel-driven execution
 		return 0, fmt.Errorf("kernel: input port %d read with no task running", port)
 	}
 	for i, p := range k.current.task.spec.InputPorts {
@@ -1051,14 +1097,18 @@ func (k *Kernel) LoadPort(port uint32) (uint32, error) {
 			return k.current.inputLatch[i], nil
 		}
 	}
+	//nlft:allow noalloc error on an undeclared port; a correct task image never takes it
 	return 0, fmt.Errorf("kernel: task %s reads undeclared input port %d",
 		k.current.task.spec.Name, port)
 }
 
 // StorePort implements cpu.IOBus: writes are buffered in the running
 // copy's result vector (end-to-end checked delivery).
+//
+//nlft:noalloc
 func (k *Kernel) StorePort(port, value uint32) error {
 	if k.current == nil {
+		//nlft:allow noalloc error on a bus access with no running task; unreachable from kernel-driven execution
 		return fmt.Errorf("kernel: output port %d written with no task running", port)
 	}
 	k.current.outputs = append(k.current.outputs, portWrite{port: port, value: value})

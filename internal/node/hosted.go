@@ -198,6 +198,8 @@ func (h *HostedNode) Name() string { return h.cfg.Name }
 
 // provide implements the endpoint's slot callback: transmit the latest
 // committed outputs.
+//
+//nlft:noalloc
 func (h *HostedNode) provide(cycle uint64, slot int) []uint32 {
 	if h.down {
 		return nil
@@ -209,6 +211,8 @@ func (h *HostedNode) provide(cycle uint64, slot int) []uint32 {
 }
 
 // onFrame routes valid frames into the receive buffers.
+//
+//nlft:noalloc
 func (h *HostedNode) onFrame(f ttnet.Frame) {
 	if !f.Valid {
 		return
@@ -233,6 +237,8 @@ const RxIgnore = ^uint32(0)
 
 // ReadInput implements kernel.Env from the receive buffers, applying
 // the freshness check when configured.
+//
+//nlft:noalloc
 func (h *HostedNode) ReadInput(port uint32) uint32 {
 	if h.cfg.RxMaxAge > 0 {
 		at, ok := h.rxAt[port]
@@ -244,10 +250,14 @@ func (h *HostedNode) ReadInput(port uint32) uint32 {
 }
 
 // WriteOutput implements kernel.Env into the transmit buffers.
+//
+//nlft:noalloc
 func (h *HostedNode) WriteOutput(port, value uint32) { h.tx[port] = value }
 
 // SetLocalInput lets application code (sensors attached directly to the
 // node) drive an input port. Local sensors count as fresh.
+//
+//nlft:noalloc
 func (h *HostedNode) SetLocalInput(port, value uint32) {
 	h.rx[port] = value
 	h.rxAt[port] = h.sim.Now()
@@ -255,6 +265,8 @@ func (h *HostedNode) SetLocalInput(port, value uint32) {
 
 // LocalOutput reads a committed output port (actuators attached directly
 // to the node).
+//
+//nlft:noalloc
 func (h *HostedNode) LocalOutput(port uint32) uint32 { return h.tx[port] }
 
 var _ kernel.Env = (*HostedNode)(nil)

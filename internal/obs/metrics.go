@@ -209,6 +209,7 @@ func (r *Registry) CounterValue(k Key) uint64 {
 // CounterTotal sums every counter named name across all label values.
 func (r *Registry) CounterTotal(name string) uint64 {
 	var total uint64
+	//nlft:allow nodeterminism commutative sum; iteration order cannot affect the total
 	for k, c := range r.counters {
 		if k.Name == name {
 			total += c.n
@@ -222,6 +223,7 @@ func (r *Registry) CounterTotal(name string) uint64 {
 // it to recompute Table 1 coverage from exported metrics.
 func (r *Registry) MechanismCounts(name string) map[string]uint64 {
 	out := make(map[string]uint64)
+	//nlft:allow nodeterminism commutative per-key sums into a map; iteration order cannot affect the result
 	for k, c := range r.counters {
 		if k.Name == name {
 			out[k.Mechanism] += c.n
@@ -237,14 +239,17 @@ func (r *Registry) Merge(other *Registry) {
 	if other == nil {
 		return
 	}
+	//nlft:allow nodeterminism counter merge adds, which commutes; iteration order cannot affect the result
 	for k, c := range other.counters {
 		r.Counter(k).Add(c.n)
 	}
+	//nlft:allow nodeterminism gauge merge keeps the maximum, which commutes; iteration order cannot affect the result
 	for k, g := range other.gauges {
 		if g.set {
 			r.Gauge(k).SetMax(g.v)
 		}
 	}
+	//nlft:allow nodeterminism histogram merge adds buckets and widens extremes, which commutes
 	for k, h := range other.hists {
 		dst := r.Histogram(k)
 		if h.count == 0 {
@@ -282,12 +287,15 @@ type MetricPoint struct {
 // exports and digests are deterministic.
 func (r *Registry) Snapshot() []MetricPoint {
 	points := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	//nlft:allow nodeterminism collection order is erased by the canonical sort below
 	for k, c := range r.counters {
 		points = append(points, MetricPoint{Key: k, Type: "counter", Value: float64(c.n)})
 	}
+	//nlft:allow nodeterminism collection order is erased by the canonical sort below
 	for k, g := range r.gauges {
 		points = append(points, MetricPoint{Key: k, Type: "gauge", Value: g.v})
 	}
+	//nlft:allow nodeterminism collection order is erased by the canonical sort below
 	for k, h := range r.hists {
 		points = append(points, MetricPoint{
 			Key: k, Type: "histogram",
@@ -296,6 +304,7 @@ func (r *Registry) Snapshot() []MetricPoint {
 			P50: float64(h.Quantile(0.5)), P99: float64(h.Quantile(0.99)),
 		})
 	}
+	//nlft:allow nodeterminism the comparator is a total order: (Name, Node, Task, Mechanism, Type) uniquely identifies a series
 	sort.Slice(points, func(i, j int) bool {
 		a, b := &points[i], &points[j]
 		if a.Name != b.Name {

@@ -289,12 +289,16 @@ func (b *Bus) Start() error {
 }
 
 // scheduleSlot arranges the transmission at the start of a static slot.
+//
+//nlft:noalloc
 func (b *Bus) scheduleSlot(slot int) {
 	b.sim.Schedule(b.sim.Now(), des.PrioNetwork, b.slotFns[slot])
 }
 
 // runSlot performs one static slot: the owner transmits (or not), and
 // the frame is delivered to every endpoint at the end of the slot.
+//
+//nlft:noalloc
 func (b *Bus) runSlot(slot int) {
 	owner := b.owners[slot]
 	e := b.endpoints[owner]
@@ -311,9 +315,10 @@ func (b *Bus) runSlot(slot int) {
 		// The payload is copied per frame: receivers are allowed to retain
 		// delivered frames, so the bus must not reuse their backing.
 		b.pendingFrame[slot] = Frame{
-			Cycle:   b.cycle,
-			Slot:    slot,
-			Sender:  owner,
+			Cycle:  b.cycle,
+			Slot:   slot,
+			Sender: owner,
+			//nlft:allow noalloc per-frame payload copy is the retention contract: receivers may keep delivered frames, so the bus must not reuse their backing
 			Payload: append([]uint32(nil), payload...),
 			Valid:   !corrupted,
 		}
@@ -329,6 +334,8 @@ func (b *Bus) runSlot(slot int) {
 
 // deliverSlot fans the frame staged for a static slot out to all
 // endpoints and updates membership.
+//
+//nlft:noalloc
 func (b *Bus) deliverSlot(slot int) {
 	f := b.pendingFrame[slot]
 	b.pendingFrame[slot] = Frame{}
@@ -348,6 +355,8 @@ func (b *Bus) deliverSlot(slot int) {
 
 // runDynamic performs the dynamic segment: pending messages across all
 // endpoints are sent in priority order until the segment is full.
+//
+//nlft:noalloc
 func (b *Bus) runDynamic() {
 	segEnd := b.sim.Now() + b.cfg.DynamicLen
 	if b.cfg.DynamicLen > 0 {
@@ -404,6 +413,8 @@ func (b *Bus) runDynamic() {
 // priority (seq is globally unique, so the order is total). Insertion
 // sort: dynamic queues are short and this keeps the arbitration free of
 // sort.Slice's per-call closure allocation.
+//
+//nlft:noalloc
 func sortDynEntries(all []dynEntry) {
 	for i := 1; i < len(all); i++ {
 		e := all[i]
@@ -419,6 +430,8 @@ func sortDynEntries(all []dynEntry) {
 
 // deliverNextDynamic fans out the next staged dynamic frame (no
 // membership effect).
+//
+//nlft:noalloc
 func (b *Bus) deliverNextDynamic() {
 	f := b.dynPend[b.dynHead]
 	b.dynHead++
@@ -433,9 +446,12 @@ func (b *Bus) deliverNextDynamic() {
 // endCycle publishes the membership view and starts the next cycle. The
 // view map is reused across cycles; onCycle callbacks must copy it if
 // they keep it.
+//
+//nlft:noalloc
 func (b *Bus) endCycle() {
 	view := b.viewScratch
 	clear(view)
+	//nlft:allow nodeterminism key-for-key map copy; iteration order cannot affect the view
 	for id, ok := range b.transmitted {
 		view[id] = ok
 	}
