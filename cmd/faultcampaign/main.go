@@ -8,12 +8,22 @@
 //	faultcampaign [-trials N] [-seed S] [-ecc] [-compute N] [-targets list]
 //	              [-parallel N] [-cpuprofile file] [-memprofile file] [-progress]
 //	              [-metrics-out file] [-trace-out file]
+//	              [-no-fork] [-snapshot-interval d] [-converge-cutoff=false]
 //
 // -metrics-out enables campaign telemetry and exports the merged metrics
 // registry (JSON, or CSV if the name ends in .csv); the per-mechanism
 // detection counts in it reproduce the campaign's coverage table.
 // -trace-out additionally retains each trial's structured event stream
 // and exports the merged JSONL (trial 0 is the fault-free golden run).
+//
+// The campaign uses the checkpoint/fork engine by default: each worker
+// snapshots the fault-free prefix at checkpoint boundaries and every
+// trial restores the latest checkpoint before its injection instant
+// instead of re-simulating from t=0. Results are bit-identical either
+// way; -no-fork is the escape hatch forcing the legacy from-scratch
+// path, -snapshot-interval overrides the checkpoint spacing (default:
+// the workload's period), and -converge-cutoff=false disables the
+// post-injection early-stop on state-digest convergence.
 package main
 
 import (
@@ -43,6 +53,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "export the merged metrics registry (JSON, or CSV if the name ends in .csv)")
 	traceOut := flag.String("trace-out", "", "export the merged per-trial event stream as JSONL (trial 0 = golden run)")
 	progress := flag.Bool("progress", false, "report live trial progress on stderr")
+	noFork := flag.Bool("no-fork", false, "disable the checkpoint/fork engine and simulate every trial from t=0 (results are identical either way)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "fork checkpoint spacing (0 = workload default: one task period)")
+	convergeCutoff := flag.Bool("converge-cutoff", true, "stop a forked trial early once its state digest reconverges with the golden run (classification-only campaigns)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -59,9 +72,12 @@ func main() {
 	}
 
 	opts := outputOptions{
-		MetricsOut: *metricsOut,
-		TraceOut:   *traceOut,
-		Progress:   *progress,
+		MetricsOut:       *metricsOut,
+		TraceOut:         *traceOut,
+		Progress:         *progress,
+		NoFork:           *noFork,
+		SnapshotInterval: nlft.Time(*snapshotInterval),
+		NoConvergeCutoff: !*convergeCutoff,
 	}
 	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel, opts); err != nil {
 		pprof.StopCPUProfile()
@@ -88,11 +104,14 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-// outputOptions bundles the telemetry-related flags.
+// outputOptions bundles the telemetry- and fork-related flags.
 type outputOptions struct {
-	MetricsOut string
-	TraceOut   string
-	Progress   bool
+	MetricsOut       string
+	TraceOut         string
+	Progress         bool
+	NoFork           bool
+	SnapshotInterval nlft.Time
+	NoConvergeCutoff bool
 }
 
 func parseTargets(spec string) ([]fault.Target, error) {
@@ -122,8 +141,11 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 	w := nlft.NewStdWorkload(nlft.StdWorkloadConfig{ECC: ecc, Compute: compute})
 	cfg := nlft.CampaignConfig{
 		Trials: trials, Seed: seed, Targets: targets, Parallelism: parallel,
-		Telemetry:       opts.MetricsOut != "",
-		TelemetryEvents: opts.TraceOut != "",
+		Telemetry:        opts.MetricsOut != "",
+		TelemetryEvents:  opts.TraceOut != "",
+		NoFork:           opts.NoFork,
+		SnapshotInterval: opts.SnapshotInterval,
+		NoConvergeCutoff: opts.NoConvergeCutoff,
 	}
 	if opts.Progress {
 		lastPct := -1

@@ -71,8 +71,17 @@ func fixturePackage(t *testing.T, dir, importPath string) *Package {
 // over a fixture and enforce the want comments.
 func runAnalyzerTest(t *testing.T, a *Analyzer, dir, importPath string) {
 	t.Helper()
+	runAnalyzersTest(t, []*Analyzer{a}, dir, importPath)
+}
+
+// runAnalyzersTest runs several analyzers together over one fixture —
+// for fixtures whose code patterns (like the checkpoint/fork engine's
+// Snapshot/Restore pairs) are constrained by more than one analyzer at
+// once.
+func runAnalyzersTest(t *testing.T, as []*Analyzer, dir, importPath string) {
+	t.Helper()
 	pkg := fixturePackage(t, dir, importPath)
-	diags := Check(pkg, []*Analyzer{a})
+	diags := Check(pkg, as)
 
 	type key struct {
 		file string

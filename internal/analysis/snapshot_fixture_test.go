@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+// TestSnapshotFixture runs the noalloc and eventhandle analyzers
+// together over the snapshot fixture: the checkpoint/fork engine's
+// Snapshot/Restore patterns must satisfy both the zero-allocation
+// contract (copy into preallocated scratch) and the pooled-handle
+// discipline (checkpoint copies of des.Event handles carry a justified
+// allow).
+func TestSnapshotFixture(t *testing.T) {
+	runAnalyzersTest(t, []*Analyzer{NoAlloc, EventHandle}, "snapshot", "repro/tools/snapfixture")
+}

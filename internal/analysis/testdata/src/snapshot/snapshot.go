@@ -1,0 +1,95 @@
+// Fixture for the snapshot/restore code patterns introduced by the
+// checkpoint/fork engine (internal/fault/fork.go and the per-package
+// snapshot.go files): warm Snapshot/Restore pairs are annotated
+// //nlft:noalloc and must copy into preallocated scratch — value and
+// array copies plus the truncate-refill idiom over the scratch's own
+// pooled backing — while checkpoint copies of pooled des.Event handles
+// need a justified //nlft:allow (they are restored wholesale with the
+// event pool, whose generation rewind revalidates them, so the usual
+// Scheduled/Cancel guard does not apply).
+package snapfixture
+
+import "repro/internal/des"
+
+// machine is the live object being checkpointed.
+type machine struct {
+	sim    *des.Simulator
+	clock  des.Time
+	regs   [8]uint64
+	queue  []int
+	timer  des.Event
+	lookup map[string]int
+}
+
+// fire is the timer's bound callback.
+func (m *machine) fire() {}
+
+// disarm guards the machine's own handle the sanctioned way.
+func (m *machine) disarm() {
+	m.sim.Cancel(m.timer)
+	m.timer = des.Event{}
+}
+
+// state is the preallocated checkpoint scratch for machine.
+type state struct {
+	clock des.Time
+	regs  [8]uint64
+	queue []int
+	// timer is a checkpoint copy of the machine's own (guarded) handle.
+	timer  des.Event //nlft:allow eventhandle checkpoint copy of the machine's own handle: restored wholesale with the event pool, whose generation rewind revalidates exactly this handle
+	lookup map[string]int
+}
+
+// Snapshot copies into preallocated scratch: value copies, array
+// copies, and truncate-refill of the scratch's pooled backing are all
+// allocation-free on the warm path.
+//
+//nlft:noalloc
+func (m *machine) Snapshot(into *state) {
+	into.clock = m.clock
+	into.regs = m.regs
+	into.queue = append(into.queue[:0], m.queue...)
+	into.timer = m.timer
+}
+
+// Restore is the mirror image: rewind the live object in place so the
+// identities its queued events and bound callbacks rely on survive.
+//
+//nlft:noalloc
+func (m *machine) Restore(from *state) {
+	m.clock = from.clock
+	m.regs = from.regs
+	m.queue = append(m.queue[:0], from.queue...)
+	m.timer = from.timer
+}
+
+// SnapshotFresh is the anti-pattern the engine forbids: building fresh
+// copies per capture allocates on every checkpoint.
+//
+//nlft:noalloc
+func (m *machine) SnapshotFresh(into *state) {
+	into.queue = append([]int(nil), m.queue...)       // want `append outside the pooled self-append idiom`
+	into.lookup = make(map[string]int, len(m.lookup)) // want `make\(map\[string\]int\) allocates`
+}
+
+// rearmClosure re-schedules with a fresh closure instead of a bound
+// callback field — an allocation per restore.
+//
+//nlft:noalloc
+func (m *machine) rearmClosure(at des.Time) {
+	m.timer = m.sim.Schedule(at, des.PrioKernel, func() { m.fire() }) // want `closure captures m`
+}
+
+// unjustified omits the allow: a checkpoint copy of a pooled handle
+// that the package never guards (and never justifies) still trips the
+// handle-discipline analysis.
+type unjustified struct {
+	timer des.Event // want `stores a pooled des\.Event handle but the package never guards it`
+}
+
+// captureUnjustified copies the handle into the unjustified scratch.
+//
+//nlft:noalloc
+func (m *machine) captureUnjustified(into *unjustified) {
+	into.timer = m.timer
+}

@@ -1,0 +1,33 @@
+package bbw
+
+// VehicleState is preallocated scratch for Vehicle.Snapshot/Restore: the
+// vehicle model is a plain value (mass, speeds, distance), so the
+// checkpoint is a struct copy. The pair exists so every layer of the
+// stack exposes the same snapshot contract the fork campaign engine
+// (internal/fault) builds on.
+type VehicleState struct {
+	mass     float64
+	speed    float64
+	wheels   [4]float64
+	distance float64
+}
+
+// Snapshot captures the vehicle state into st.
+//
+//nlft:noalloc
+func (v *Vehicle) Snapshot(into *VehicleState) {
+	into.mass = v.Mass
+	into.speed = v.Speed
+	into.wheels = v.Wheels
+	into.distance = v.Distance
+}
+
+// Restore rewinds the vehicle to a state captured with Snapshot.
+//
+//nlft:noalloc
+func (v *Vehicle) Restore(from *VehicleState) {
+	v.Mass = from.mass
+	v.Speed = from.speed
+	v.Wheels = from.wheels
+	v.Distance = from.distance
+}

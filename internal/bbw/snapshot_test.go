@@ -1,0 +1,44 @@
+package bbw
+
+import "testing"
+
+// TestVehicleSnapshotRoundTrip proves restore+step ≡ straight step for
+// the vehicle model: two trajectories from the same restored state are
+// bit-identical.
+func TestVehicleSnapshotRoundTrip(t *testing.T) {
+	v := NewVehicle(1500, 30)
+	brake := [4]float64{3000, 3000, 2800, 3200}
+	for i := 0; i < 50; i++ {
+		v.Step(0.001, brake)
+	}
+	var st VehicleState
+	v.Snapshot(&st)
+	ref := *v
+	for i := 0; i < 200; i++ {
+		v.Step(0.001, brake)
+	}
+	want := *v
+
+	v.Restore(&st)
+	if *v != ref {
+		t.Fatalf("restore: %+v, want %+v", *v, ref)
+	}
+	for i := 0; i < 200; i++ {
+		v.Step(0.001, brake)
+	}
+	if *v != want {
+		t.Fatalf("replay: %+v, want %+v", *v, want)
+	}
+}
+
+// TestVehicleSnapshotZeroAlloc gates the vehicle capture/restore.
+func TestVehicleSnapshotZeroAlloc(t *testing.T) {
+	v := NewVehicle(1500, 30)
+	var st VehicleState
+	if got := testing.AllocsPerRun(32, func() {
+		v.Snapshot(&st)
+		v.Restore(&st)
+	}); got != 0 {
+		t.Errorf("snapshot/restore allocates %v per run, want 0", got)
+	}
+}

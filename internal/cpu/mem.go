@@ -20,6 +20,11 @@ type Memory struct {
 	// is enabled (the stored data stays intact; the codeword is what is
 	// corrupted).
 	pendingFlips map[uint32]uint32
+	// wordSum is the running commutative digest of all nonzero words
+	// (the sum of wordSig over them), maintained incrementally by every
+	// word write so StateDigest never has to scan the array. A fresh
+	// all-zero RAM sums to zero.
+	wordSum uint64
 	// CorrectedErrors counts single-bit errors repaired by ECC.
 	CorrectedErrors uint64
 	// io handles loads/stores in the I/O window, when attached.
@@ -136,6 +141,7 @@ func (m *Memory) Store(addr, value uint32) *Exception {
 	if m.ecc {
 		delete(m.pendingFlips, idx)
 	}
+	m.wordSum += wordSig(idx, value) - wordSig(idx, m.words[idx])
 	m.words[idx] = value
 	return nil
 }
@@ -152,6 +158,7 @@ func (m *Memory) Poke(addr, value uint32) {
 	if m.ecc {
 		delete(m.pendingFlips, idx)
 	}
+	m.wordSum += wordSig(idx, value) - wordSig(idx, m.words[idx])
 	m.words[idx] = value
 }
 
@@ -179,7 +186,9 @@ func (m *Memory) FlipBit(addr uint32, bit uint) {
 		m.pendingFlips[idx] ^= 1 << bit
 		return
 	}
-	m.words[idx] ^= 1 << bit
+	flipped := m.words[idx] ^ 1<<bit
+	m.wordSum += wordSig(idx, flipped) - wordSig(idx, m.words[idx])
+	m.words[idx] = flipped
 }
 
 func popcount(v uint32) int {

@@ -1,0 +1,207 @@
+package cpu
+
+// This file holds the full-machine snapshot layer used by the
+// checkpoint/fork campaign engine (internal/fault). It is distinct from
+// the architectural Snapshot/Restore pair above, which models what the
+// kernel stores in a TCB (§2.5): that context deliberately excludes the
+// cycle counters and any latent ALU fault, because a context switch
+// cannot scrub a faulty functional unit. A campaign checkpoint must
+// capture *everything* that influences the remainder of the run, so the
+// state types here include both.
+
+// CPUState is preallocated scratch for CPU.SnapshotState/RestoreState.
+type CPUState struct {
+	regs         [NumRegs]uint32
+	pc           uint32
+	flags        Flags
+	cycles       uint64
+	retired      uint64
+	aluFaultMask uint32
+	signature    uint32
+}
+
+// SnapshotState copies the complete processor state — registers, PC,
+// flags, cycle/retire counters, signature, and any pending ALU fault —
+// into st.
+//
+//nlft:noalloc
+func (c *CPU) SnapshotState(into *CPUState) {
+	into.regs = c.Regs
+	into.pc = c.PC
+	into.flags = c.Flags
+	into.cycles = c.Cycles
+	into.retired = c.Retired
+	into.aluFaultMask = c.aluFaultMask
+	into.signature = c.Signature
+}
+
+// RestoreState rewinds the processor to a state captured with
+// SnapshotState.
+//
+//nlft:noalloc
+func (c *CPU) RestoreState(from *CPUState) {
+	c.Regs = from.regs
+	c.PC = from.pc
+	c.Flags = from.flags
+	c.Cycles = from.cycles
+	c.Retired = from.retired
+	c.aluFaultMask = from.aluFaultMask
+	c.Signature = from.signature
+}
+
+// flipEntry is one pending ECC flip mask, flattened out of the map for
+// allocation-free capture.
+type flipEntry struct {
+	addr uint32 // word index
+	mask uint32
+}
+
+// MemoryState is preallocated scratch for Memory.Snapshot/Restore.
+type MemoryState struct {
+	words           []uint32
+	wordSum         uint64
+	flips           []flipEntry
+	correctedErrors uint64
+}
+
+// Snapshot copies RAM contents, pending ECC flip masks, and the
+// corrected-error counter into st. The ECC setting and the attached I/O
+// bus are configuration, not state, and are not captured.
+//
+//nlft:noalloc
+func (m *Memory) Snapshot(into *MemoryState) {
+	into.words = append(into.words[:0], m.words...)
+	into.wordSum = m.wordSum
+	into.flips = into.flips[:0]
+	//nlft:allow nodeterminism capture order is irrelevant: the entries refill a map on restore and fold commutatively in digests
+	for addr, mask := range m.pendingFlips {
+		into.flips = append(into.flips, flipEntry{addr: addr, mask: mask})
+	}
+	into.correctedErrors = m.CorrectedErrors
+}
+
+// Restore rewinds memory to a state captured from the same instance with
+// Snapshot. The flip map's buckets are retained across clear+refill, so
+// a warm restore does not allocate.
+//
+//nlft:noalloc
+func (m *Memory) Restore(from *MemoryState) {
+	m.words = append(m.words[:0], from.words...)
+	m.wordSum = from.wordSum
+	clear(m.pendingFlips)
+	for _, f := range from.flips {
+		m.pendingFlips[f.addr] = f.mask
+	}
+	m.CorrectedErrors = from.correctedErrors
+}
+
+// MMUState is preallocated scratch for MMU.Snapshot/Restore.
+type MMUState struct {
+	regions    []Region
+	enabled    bool
+	violations uint64
+}
+
+// Snapshot copies the installed region set, the enable flag, and the
+// violation counter into st.
+//
+//nlft:noalloc
+func (u *MMU) Snapshot(into *MMUState) {
+	into.regions = append(into.regions[:0], u.regions...)
+	into.enabled = u.enabled
+	into.violations = u.Violations
+}
+
+// Restore rewinds the MMU to a state captured with Snapshot. The region
+// slice is refilled in place; SetRegions replaces it wholesale on the
+// next dispatch either way.
+//
+//nlft:noalloc
+func (u *MMU) Restore(from *MMUState) {
+	u.regions = append(u.regions[:0], from.regions...)
+	u.enabled = from.enabled
+	u.Violations = from.violations
+}
+
+// digestMix is the SplitMix64 finalizer, duplicated here so the digest
+// helpers stay free of cross-package dependencies.
+//
+//nlft:noalloc
+func digestMix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// digestFold chains one value into a running digest, order-sensitively.
+//
+//nlft:noalloc
+func digestFold(d, v uint64) uint64 { return digestMix(d ^ digestMix(v)) }
+
+// StateDigest folds the forward-relevant processor state — registers,
+// PC, flags, signature, and any pending ALU fault — into a 64-bit
+// digest. The cycle and retire counters are excluded deliberately: they
+// are measurements of the path taken, not state that influences future
+// behaviour, and a forked trial's counters differ from the golden run's
+// even when the machines have reconverged.
+//
+//nlft:noalloc
+func (c *CPU) StateDigest() uint64 {
+	var d uint64
+	for _, r := range c.Regs {
+		d = digestFold(d, uint64(r))
+	}
+	d = digestFold(d, uint64(c.PC))
+	var fl uint64
+	if c.Flags.Z {
+		fl |= 1
+	}
+	if c.Flags.N {
+		fl |= 2
+	}
+	if c.Flags.C {
+		fl |= 4
+	}
+	if c.Flags.V {
+		fl |= 8
+	}
+	d = digestFold(d, fl)
+	d = digestFold(d, uint64(c.Signature))
+	d = digestFold(d, uint64(c.aluFaultMask))
+	return d
+}
+
+// wordSig is one nonzero word's contribution to the maintained RAM
+// digest (Memory.wordSum): its avalanche-mixed (index, value) pair. Zero
+// words contribute nothing, so a fresh all-zero RAM sums to zero and the
+// sum stays position-independent of how the RAM reached its contents.
+//
+//nlft:noalloc
+func wordSig(idx, w uint32) uint64 {
+	if w == 0 {
+		return 0
+	}
+	return digestMix(uint64(idx)<<32 | uint64(w))
+}
+
+// StateDigest folds RAM contents and pending ECC flips into a 64-bit
+// digest. The word contribution is the maintained commutative sum
+// updated by every word write (Store, Poke, FlipBit, Restore), so this
+// is O(pending flips), not O(RAM size) — the fork engine's convergence
+// cutoff calls it at every checkpoint boundary of every trial. The
+// corrected-error counter is excluded: it is a measurement, not forward
+// state. Pending flips fold commutatively so map iteration order cannot
+// perturb the digest.
+//
+//nlft:noalloc
+func (m *Memory) StateDigest() uint64 {
+	d := digestFold(0, m.wordSum)
+	var flips uint64
+	//nlft:allow nodeterminism commutative sum of avalanche-mixed terms; iteration order cannot change the result
+	for addr, mask := range m.pendingFlips {
+		if mask != 0 {
+			flips += digestMix(uint64(addr)<<32 | uint64(mask))
+		}
+	}
+	return digestFold(d, flips)
+}

@@ -62,6 +62,29 @@ type CampaignConfig struct {
 	// the number of settled trials and the total. Calls are serialized,
 	// but arrive from worker goroutines in completion (not trial) order.
 	OnProgress func(done, total int)
+
+	// NoFork disables the checkpoint/fork engine and simulates every
+	// trial from t=0. Forking is on by default: each worker captures
+	// full-machine snapshots of the fault-free prefix at checkpoint
+	// boundaries and every trial restores the latest sound checkpoint
+	// before its injection instant, simulating only the suffix. Results
+	// are bit-identical either way (see internal/fault/fork.go for the
+	// soundness argument; guarded by TestCampaignForkEquivalence and the
+	// digest pins).
+	NoFork bool
+	// SnapshotInterval is the fork checkpoint spacing. Default (0): the
+	// workload's own SnapshotHinter value (the standard workload hints
+	// its period, so boundaries coincide with release instants), or
+	// Horizon/8 without a hint.
+	SnapshotInterval des.Time
+	// NoConvergeCutoff disables the fork engine's convergence cutoff.
+	// When active (the default — but only for campaigns without
+	// Telemetry, whose suffix metrics and events cannot be skipped), a
+	// forked trial compares its forward state digest against the golden
+	// run's at checkpoint boundaries after the injection; on a match the
+	// remaining suffix is provably identical to the golden run's and the
+	// trial is classified without simulating it.
+	NoConvergeCutoff bool
 }
 
 func (c *CampaignConfig) applyDefaults() {
@@ -314,18 +337,34 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
-	// With TelemetryEvents, per-trial collectors land at their trial
-	// index, so the event merge below runs in trial order no matter which
-	// worker produced them. Metrics-only campaigns use one collector per
-	// worker: the registry merge is commutative, so the aggregate is
-	// unchanged, and the per-trial setup/merge cost disappears.
+	// With TelemetryEvents, per-trial collectors (legacy path) or
+	// per-trial event copies (fork path) land at their trial index, so
+	// the event merge below runs in trial order no matter which worker
+	// produced them. Metrics-only campaigns use one collector per worker:
+	// the registry merge is commutative, so the aggregate is unchanged,
+	// and the per-trial setup/merge cost disappears. The fork path always
+	// aggregates per worker (its shared collector is rewound to the
+	// checkpoint each trial, so per-trial registries are merged into a
+	// worker accumulator as they settle).
 	var collectors []*obs.Collector
-	if cfg.TelemetryEvents {
+	if cfg.TelemetryEvents && cfg.NoFork {
 		collectors = make([]*obs.Collector, cfg.Trials)
 	}
 	var workerCols []*obs.Collector
-	if cfg.Telemetry && !cfg.TelemetryEvents {
+	if cfg.Telemetry && !cfg.TelemetryEvents && cfg.NoFork {
 		workerCols = make([]*obs.Collector, workers)
+	}
+	var trialEvents [][]obs.Event
+	if cfg.TelemetryEvents && !cfg.NoFork {
+		trialEvents = make([][]obs.Event, cfg.Trials)
+	}
+	var workerRegs []*obs.Registry
+	if cfg.Telemetry && !cfg.NoFork {
+		workerRegs = make([]*obs.Registry, workers)
+	}
+	var plans []trialPlan
+	if !cfg.NoFork {
+		plans = planTrials(w, &cfg)
 	}
 	var progressMu sync.Mutex
 	progressDone := 0
@@ -341,6 +380,19 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 				defer wg.Done()
 				t := newTally()
 				tallies[wk] = t
+				progress := func() {
+					if cfg.OnProgress != nil {
+						progressMu.Lock()
+						progressDone++
+						cfg.OnProgress(progressDone, cfg.Trials)
+						progressMu.Unlock()
+					}
+				}
+				if !cfg.NoFork {
+					errs[wk] = runForkTrials(w, &cfg, wk, workers, golden, res, t,
+						plans, trialEvents, workerRegs, progress)
+					return
+				}
 				var scratch trialScratch
 				var wcol *obs.Collector
 				if workerCols != nil {
@@ -365,12 +417,7 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 					recordTrialMetrics(col, &rec)
 					res.Trials[trial] = rec
 					t.record(&rec)
-					if cfg.OnProgress != nil {
-						progressMu.Lock()
-						progressDone++
-						cfg.OnProgress(progressDone, cfg.Trials)
-						progressMu.Unlock()
-					}
+					progress()
 				}
 			})
 	}
@@ -396,6 +443,17 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 			for _, col := range workerCols {
 				if col != nil {
 					reg.Merge(col.Registry())
+				}
+			}
+			for i, evs := range trialEvents {
+				for _, e := range evs {
+					e.Trial = i + 1
+					res.Events = append(res.Events, e)
+				}
+			}
+			for _, r := range workerRegs {
+				if r != nil {
+					reg.Merge(r)
 				}
 			}
 			res.Metrics = reg
@@ -428,7 +486,10 @@ func goldenRun(w Workload, col *obs.Collector) ([]Write, error) {
 	return inst.Rec.Writes, nil
 }
 
-// drawFault picks a random fault within the workload's windows.
+// drawFault picks a random fault within the workload's windows. The
+// injection window is half-open: Intn(end-start) ranges over
+// [0, end-start), so at ∈ [start, end) and the end instant can never be
+// drawn (guarded by TestInjectionWindowHalfOpen).
 func drawFault(w Workload, cfg CampaignConfig, rng *des.Rand) Fault {
 	start, end := w.InjectionWindow()
 	at := start + des.Time(rng.Intn(int(end-start)))

@@ -1,0 +1,456 @@
+package fault
+
+// The checkpoint/fork campaign engine. Every trial of a campaign
+// simulates the same fault-free prefix up to its injection instant;
+// only the suffix after the fault differs. The engine captures the
+// golden prefix once per worker — full-machine snapshots at checkpoint
+// boundaries — and each trial restores the latest sound checkpoint
+// before its fault instead of re-simulating from t=0.
+//
+// Soundness of the fork (why a forked trial is bit-identical to one
+// simulated from scratch):
+//
+//  1. Identity preservation. Snapshots are captured from, and restored
+//     into, the same Instance: every model object (simulator event
+//     pool, kernel, tcbs, job records, collector series) is rewound in
+//     place, so the callback closures held by queued events and the
+//     pointers cached across components stay valid. Event pool
+//     generation counters rewind with the pool, which revalidates
+//     exactly the handles that were live at capture time — and every
+//     holder of such a handle is restored from the same checkpoint.
+//
+//  2. Prefix equality. A legacy trial keeps its injection event queued
+//     from t=0 until it fires, and a pending event bounds the kernel's
+//     co-simulated CPU slices (runSlice cuts each slice at the next
+//     queued instant). The capture run therefore schedules a phantom
+//     injection at (MaxTime, PrioInject): the queue depth matches a
+//     legacy trial's, and the phantom, sitting at MaxTime, can never
+//     bound a slice differently from a legacy injection unless a slice
+//     reaches past the fault instant. The checkpoint-selection rule
+//     rejects exactly those checkpoints: a trial with fault time t
+//     restores the latest checkpoint k with time(k) < t AND
+//     cpuBusyUntil(k) <= t. cpuBusyUntil is the end of the last
+//     committed slice and is monotone over the run, so the condition
+//     guarantees no capture slice in the restored prefix crossed t —
+//     meaning the legacy injection event could not have bounded any of
+//     those slices either (a slice that would have been cut at t ends
+//     at or before t, and one that ran past t bumps cpuBusyUntil past t
+//     and disqualifies the checkpoint). The restored prefix is thus
+//     bit-identical to the prefix a from-scratch trial would simulate.
+//
+//  3. Suffix equality. After the restore the trial cancels the phantom
+//     and schedules the real injection at (t, PrioInject); the replayed
+//     [checkpoint, t) window and the post-injection suffix then run
+//     under exactly the legacy event set. The injection occupies the
+//     PrioInject band alone at its instant, so its sequence number
+//     (which differs from a from-scratch trial's) can never influence
+//     tie-breaking.
+//
+// The convergence cutoff (§ optional, metrics-free campaigns only) is
+// documented on checkConvergence below.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+)
+
+// SnapshotHinter is implemented by workloads that know a natural
+// checkpoint spacing — typically their hyperperiod, so checkpoint
+// boundaries coincide with release instants. Workloads without the hint
+// get Horizon/8.
+type SnapshotHinter interface {
+	// SnapshotInterval returns the preferred checkpoint spacing.
+	SnapshotInterval() des.Time
+}
+
+// maxCheckpoints bounds the per-worker checkpoint count so a
+// pathologically small SnapshotInterval cannot exhaust memory; the
+// interval is clamped up to horizon/maxCheckpoints.
+const maxCheckpoints = 256
+
+// resolveForkInterval picks the checkpoint spacing for a campaign.
+func resolveForkInterval(w Workload, cfg *CampaignConfig) des.Time {
+	horizon := w.Horizon()
+	interval := cfg.SnapshotInterval
+	if interval <= 0 {
+		if h, ok := w.(SnapshotHinter); ok {
+			interval = h.SnapshotInterval()
+		}
+	}
+	if interval <= 0 {
+		interval = horizon / 8
+	}
+	if min := horizon / maxCheckpoints; interval < min {
+		interval = min
+	}
+	if interval <= 0 {
+		interval = horizon
+	}
+	return interval
+}
+
+// InstanceState is one checkpoint of a trial instance: simulator,
+// kernel (with processor, memory and MMU), the recorder, and — when the
+// campaign collects telemetry — the collector. Recorder state is a full
+// copy, not a length: a forked trial overwrites the shared Writes
+// buffer past the checkpoint, so truncation alone could resurrect a
+// previous trial's tail.
+type InstanceState struct {
+	sim  des.SimState
+	kern kernel.KernelState
+	col  *obs.CollectorState
+
+	writes         []Write
+	omissions      int
+	maskedReleases int
+
+	// at is the capture instant; writesLen the golden write count at it;
+	// fwdDigest the kernel forward digest at it (net of the phantom).
+	at        des.Time
+	writesLen int
+	fwdDigest uint64
+}
+
+// Snapshot captures inst (and col, when non-nil) into st.
+//
+//nlft:noalloc
+func (inst *Instance) Snapshot(into *InstanceState, col *obs.Collector) {
+	inst.Sim.Snapshot(&into.sim)
+	inst.Kernel.Snapshot(&into.kern)
+	if col != nil {
+		if into.col == nil {
+			//nlft:allow noalloc cold first-capture path: the state is retained per checkpoint
+			into.col = obs.NewCollectorState()
+		}
+		col.Snapshot(into.col)
+	}
+	into.writes = append(into.writes[:0], inst.Rec.Writes...)
+	into.omissions = inst.Rec.Omissions
+	into.maskedReleases = inst.Rec.MaskedReleases
+	into.writesLen = len(into.writes)
+}
+
+// Restore rewinds inst (and col, when non-nil) to a state captured from
+// the same instance with Snapshot.
+//
+//nlft:noalloc
+func (inst *Instance) Restore(from *InstanceState, col *obs.Collector) {
+	inst.Sim.Restore(&from.sim)
+	inst.Kernel.Restore(&from.kern)
+	if col != nil && from.col != nil {
+		col.Restore(from.col)
+	}
+	inst.Rec.Writes = append(inst.Rec.Writes[:0], from.writes...)
+	inst.Rec.Omissions = from.omissions
+	inst.Rec.MaskedReleases = from.maskedReleases
+}
+
+// checkpointStore is one worker's golden-prefix checkpoint sequence.
+type checkpointStore struct {
+	states []*InstanceState
+	// phantom is the placeholder injection event scheduled before the
+	// capture run (see the prefix-equality argument above). Its handle
+	// revalidates at every restore; each trial cancels it and schedules
+	// the real injection.
+	phantom des.Event
+}
+
+// captureCheckpoints runs inst fault-free, snapshotting at every
+// boundary k·interval < horizon. Checkpoint 0 is captured before any
+// event fires, so a fault at t=0 still restores a pre-injection state
+// (the injection priority band fires before the first releases).
+func captureCheckpoints(inst *Instance, col *obs.Collector, interval, horizon des.Time) (*checkpointStore, error) {
+	cs := &checkpointStore{}
+	cs.phantom = inst.Sim.Schedule(des.MaxTime, des.PrioInject, func() {})
+	for t := des.Time(0); t < horizon; t += interval {
+		if t > 0 {
+			if err := inst.Sim.RunUntil(t); err != nil {
+				return nil, fmt.Errorf("fault: capture run: %w", err)
+			}
+		}
+		st := &InstanceState{at: t}
+		inst.Snapshot(st, col)
+		st.fwdDigest = inst.Kernel.ForwardDigest(cs.phantom)
+		cs.states = append(cs.states, st)
+	}
+	return cs, nil
+}
+
+// selectFor returns the index of the fork base for a fault at the given
+// instant: the latest checkpoint strictly before it whose committed CPU
+// slices all end at or before it (see the prefix-equality argument).
+// cpuBusyUntil is monotone over the capture run, so the scan can stop
+// at the first violation.
+func (cs *checkpointStore) selectFor(at des.Time) int {
+	best := 0
+	for k := 1; k < len(cs.states); k++ {
+		st := cs.states[k]
+		if st.at >= at || st.kern.CPUBusyUntil() > at {
+			break
+		}
+		best = k
+	}
+	return best
+}
+
+// trialPlan precomputes one trial's random decisions. The draws replay
+// runTrial's exact order on the trial's (Seed, index) stream — fault
+// first, then the kernel-hit coin, then (only on a hit) the
+// kernel-detect coin — so planned trials consume the stream identically
+// to legacy trials and every derived value is bit-equal.
+type trialPlan struct {
+	fault          Fault
+	kernelHit      bool
+	kernelDetected bool
+	// ckpt is the fork base, filled in per worker (every worker's
+	// deterministic capture yields the same checkpoint geometry).
+	ckpt int
+}
+
+// planTrials precomputes all trials' plans.
+func planTrials(w Workload, cfg *CampaignConfig) []trialPlan {
+	plans := make([]trialPlan, cfg.Trials)
+	for i := range plans {
+		rng := des.NewRandIndexed(cfg.Seed, uint64(i))
+		f := drawFault(w, *cfg, rng)
+		kh := rng.Bool(cfg.KernelShare)
+		kd := kh && rng.Bool(cfg.KernelDetect)
+		plans[i] = trialPlan{fault: f, kernelHit: kh, kernelDetected: kd}
+	}
+	return plans
+}
+
+// forkWorker owns one instance, its checkpoint store, and the bound
+// per-trial callbacks. The injection and convergence callbacks are
+// closures created once per worker that read the worker's current-trial
+// fields, so the per-trial loop schedules events without allocating
+// closures.
+type forkWorker struct {
+	inst    *Instance
+	col     *obs.Collector
+	cs      *checkpointStore
+	golden  []Write
+	horizon des.Time
+	cutoff  bool
+
+	// Current-trial state read by the bound callbacks.
+	plan             trialPlan
+	rec              *TrialRecord
+	undetectedKernel bool
+	converged        bool
+	convergedAt      int
+	nextCheck        int
+
+	injectFn func()
+	checkFn  func()
+	splice   []Write
+	scratch  trialScratch
+}
+
+// runForkTrials is one worker's trial loop on the fork path: build an
+// instance, capture checkpoints, then run this worker's strided share
+// of the trials bucketed by fork base (ascending checkpoint index, so
+// consecutive trials restore the same snapshot and the restore source
+// stays cache-warm). Records land at their trial index, so Result order
+// is the sequential order regardless of workers or bucketing.
+func runForkTrials(w Workload, cfg *CampaignConfig, wk, workers int, golden []Write,
+	res *Result, t *tally, plans []trialPlan, trialEvents [][]obs.Event,
+	workerRegs []*obs.Registry, progress func()) error {
+	var col *obs.Collector
+	switch {
+	case cfg.TelemetryEvents:
+		col = newTrialCollector(cfg)
+	case cfg.Telemetry:
+		col = newWorkerCollector()
+	}
+	var accCol *obs.Collector
+	if cfg.Telemetry {
+		accCol = newWorkerCollector()
+		workerRegs[wk] = accCol.Registry()
+	}
+	fw, err := newForkWorker(w, cfg, col, golden)
+	if err != nil {
+		return err
+	}
+	mine := make([]int, 0, (cfg.Trials-wk+workers-1)/workers)
+	for trial := wk; trial < cfg.Trials; trial += workers {
+		plans[trial].ckpt = fw.cs.selectFor(plans[trial].fault.At)
+		mine = append(mine, trial)
+	}
+	sort.SliceStable(mine, func(a, b int) bool {
+		return plans[mine[a]].ckpt < plans[mine[b]].ckpt
+	})
+	for _, trial := range mine {
+		rec, err := fw.runTrial(plans[trial])
+		if err != nil {
+			return fmt.Errorf("fault: trial %d: %w", trial, err)
+		}
+		if accCol != nil {
+			// The shared collector's registry holds exactly this trial's
+			// full registry (checkpoint prefix + simulated suffix), like a
+			// legacy per-trial collector's; accumulate it before the next
+			// restore rewinds it.
+			accCol.Registry().Merge(col.Registry())
+		}
+		if trialEvents != nil {
+			trialEvents[trial] = append([]obs.Event(nil), col.Events()...)
+		}
+		recordTrialMetrics(accCol, &rec)
+		res.Trials[trial] = rec
+		t.record(&rec)
+		progress()
+	}
+	return nil
+}
+
+// newForkWorker builds a worker instance and captures its checkpoints.
+func newForkWorker(w Workload, cfg *CampaignConfig, col *obs.Collector, golden []Write) (*forkWorker, error) {
+	inst, err := newInstance(w, col)
+	if err != nil {
+		return nil, err
+	}
+	fw := &forkWorker{
+		inst:    inst,
+		col:     col,
+		golden:  golden,
+		horizon: w.Horizon(),
+		cutoff:  !cfg.NoConvergeCutoff && !cfg.Telemetry,
+	}
+	fw.injectFn = func() { fw.inject() }
+	fw.checkFn = func() { fw.checkConvergence() }
+	fw.cs, err = captureCheckpoints(inst, col, resolveForkInterval(w, cfg), fw.horizon)
+	if err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// inject applies the current trial's fault — the same decision tree as
+// the legacy runTrial closure. A modelled kernel hit is detected with
+// probability KernelDetect; a fault landing while the kernel itself
+// executes (and not already modelled as a kernel hit) is always caught
+// by the kernel EDMs.
+func (fw *forkWorker) inject() {
+	if fw.plan.kernelHit || fw.inst.Kernel.Activity() == kernel.ActivityKernel {
+		fw.rec.Kernel = true
+		if fw.plan.kernelDetected || (fw.inst.Kernel.Activity() == kernel.ActivityKernel && !fw.plan.kernelHit) {
+			fw.inst.Kernel.ForceFailSilent("kernel EDM: assertion after fault")
+		} else {
+			fw.undetectedKernel = true
+		}
+		return
+	}
+	apply(fw.inst, fw.plan.fault)
+}
+
+// checkConvergence fires at a checkpoint boundary after the injection
+// and compares the trial's forward digest against the golden run's at
+// the same boundary. The digest covers everything that can influence
+// the remainder of the run — the clock, the pending-event multiset, the
+// processor, memory, and all live scheduler/TEM state (see
+// kernel.ForwardDigest) — so equality proves the trial's future is the
+// golden future and the suffix need not be simulated: the trial's
+// outcome is classified from its current counters plus the golden
+// suffix (whose omission/masking/detection deltas are zero, the golden
+// run being fault-free, and whose writes are spliced on).
+//
+// The checker is self-rearming: the next boundary's check is scheduled
+// only after the current one completes, so at digest time no checker
+// event is pending and the trial's pending-event multiset is compared
+// against the golden capture's without correction. Pending checker
+// events between boundaries can split the kernel's CPU slices at
+// boundary instants; a split slice resumes the same copy with no
+// context-switch overhead and no state change, so outcomes and
+// recorder-visible behaviour are unaffected.
+func (fw *forkWorker) checkConvergence() {
+	b := fw.nextCheck
+	if fw.inst.Kernel.ForwardDigest(des.Event{}) == fw.cs.states[b].fwdDigest {
+		fw.converged = true
+		fw.convergedAt = b
+		fw.inst.Sim.Stop()
+		return
+	}
+	fw.nextCheck++
+	if fw.nextCheck < len(fw.cs.states) {
+		fw.inst.Sim.Schedule(fw.cs.states[fw.nextCheck].at, des.PrioObserver, fw.checkFn)
+	}
+}
+
+// runTrial executes one forked trial: restore the fork base, swap the
+// phantom for the real injection, run (with optional convergence
+// cutoff), and classify exactly like the legacy path.
+func (fw *forkWorker) runTrial(plan trialPlan) (TrialRecord, error) {
+	fw.inst.Restore(fw.cs.states[plan.ckpt], fw.col)
+	fw.inst.Sim.Cancel(fw.cs.phantom)
+
+	rec := TrialRecord{Fault: plan.fault}
+	fw.plan = plan
+	fw.rec = &rec
+	fw.undetectedKernel = false
+	fw.converged = false
+	fw.inst.Sim.Schedule(plan.fault.At, des.PrioInject, fw.injectFn)
+
+	if fw.cutoff {
+		fw.nextCheck = len(fw.cs.states)
+		for b := plan.ckpt + 1; b < len(fw.cs.states); b++ {
+			if fw.cs.states[b].at > plan.fault.At {
+				fw.nextCheck = b
+				break
+			}
+		}
+		if fw.nextCheck < len(fw.cs.states) {
+			fw.inst.Sim.Schedule(fw.cs.states[fw.nextCheck].at, des.PrioObserver, fw.checkFn)
+		}
+	}
+
+	err := fw.inst.Sim.RunUntil(fw.horizon)
+	switch {
+	case err == nil:
+	case errors.Is(err, des.ErrStopped) && fw.converged:
+	default:
+		return TrialRecord{}, err
+	}
+
+	// Mechanism attribution, identical to the legacy path. A converged
+	// trial's counters are final: the golden suffix is fault-free, so it
+	// contributes no detections (and the digest's memory fold proves no
+	// ECC flip was still pending at the cutoff).
+	mechs := fw.scratch.mechs[:0]
+	st := fw.inst.Kernel.Stats()
+	//nlft:allow nodeterminism collection order is erased by the sort.Strings below
+	for m, n := range st.ErrorsDetected {
+		if n > 0 {
+			mechs = append(mechs, m)
+		}
+	}
+	if fw.inst.Kernel.Mem().CorrectedErrors > 0 {
+		mechs = append(mechs, "ecc")
+	}
+	sort.Strings(mechs)
+	fw.scratch.mechs = mechs
+	if len(mechs) > 0 {
+		rec.Mechanisms = make([]string, len(mechs))
+		copy(rec.Mechanisms, mechs)
+	}
+
+	if fw.converged {
+		// Splice the golden suffix onto the trial's writes and classify
+		// the full sequence. The trial's omission/masking counters are
+		// already final (golden suffix deltas are zero).
+		wl := fw.cs.states[fw.convergedAt].writesLen
+		fw.splice = append(fw.splice[:0], fw.inst.Rec.Writes...)
+		fw.splice = append(fw.splice, fw.golden[wl:]...)
+		saved := fw.inst.Rec.Writes
+		fw.inst.Rec.Writes = fw.splice
+		rec.Outcome = classify(fw.inst, fw.golden, fw.undetectedKernel)
+		fw.inst.Rec.Writes = saved
+	} else {
+		rec.Outcome = classify(fw.inst, fw.golden, fw.undetectedKernel)
+	}
+	return rec, nil
+}

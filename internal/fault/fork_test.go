@@ -1,0 +1,335 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/obs"
+)
+
+// forkEquivCases are the campaign shapes the fork engine must reproduce
+// bit-identically: every telemetry mode, serial and parallel workers,
+// and a checkpoint spacing that does not divide the period evenly.
+var forkEquivCases = []struct {
+	name string
+	cfg  CampaignConfig
+}{
+	{"classify", CampaignConfig{Trials: 64, Seed: 7}},
+	{"classify-parallel", CampaignConfig{Trials: 64, Seed: 7, Parallelism: 3}},
+	{"classify-no-cutoff", CampaignConfig{Trials: 64, Seed: 7, NoConvergeCutoff: true}},
+	{"classify-odd-interval", CampaignConfig{Trials: 64, Seed: 7,
+		SnapshotInterval: 300 * des.Microsecond}},
+	{"metrics", CampaignConfig{Trials: 48, Seed: 11, Telemetry: true, Parallelism: 2}},
+	{"events", CampaignConfig{Trials: 48, Seed: 11, TelemetryEvents: true, Parallelism: 2}},
+}
+
+// TestCampaignForkEquivalence runs the same campaign with the fork
+// engine on and off and requires every observable — trial records,
+// outcome tallies, mechanism and target attributions, merged metrics,
+// and event streams — to be bit-identical. This is the differential
+// guard for the whole fork path: checkpoint selection, in-place restore,
+// phantom-injection swap, convergence cutoff, and telemetry
+// accumulation.
+func TestCampaignForkEquivalence(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	for _, tc := range forkEquivCases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacyCfg := tc.cfg
+			legacyCfg.NoFork = true
+			want, err := Run(w, legacyCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(w, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Trials, want.Trials) {
+				for i := range got.Trials {
+					if !reflect.DeepEqual(got.Trials[i], want.Trials[i]) {
+						t.Fatalf("trial %d diverged: fork %+v, legacy %+v",
+							i, got.Trials[i], want.Trials[i])
+					}
+				}
+			}
+			if !reflect.DeepEqual(got.Counts, want.Counts) {
+				t.Errorf("counts: fork %v, legacy %v", got.Counts, want.Counts)
+			}
+			if !reflect.DeepEqual(got.ByMechanism, want.ByMechanism) {
+				t.Errorf("mechanisms: fork %v, legacy %v", got.ByMechanism, want.ByMechanism)
+			}
+			if !reflect.DeepEqual(got.ByTarget, want.ByTarget) {
+				t.Errorf("targets: fork %v, legacy %v", got.ByTarget, want.ByTarget)
+			}
+			if (got.Metrics == nil) != (want.Metrics == nil) {
+				t.Fatalf("metrics presence: fork %v, legacy %v",
+					got.Metrics != nil, want.Metrics != nil)
+			}
+			if got.Metrics != nil && got.Metrics.Digest() != want.Metrics.Digest() {
+				t.Errorf("metrics digest: fork %#x, legacy %#x",
+					got.Metrics.Digest(), want.Metrics.Digest())
+			}
+			if !reflect.DeepEqual(got.Events, want.Events) {
+				t.Errorf("event streams differ: fork %d events (digest %#x), legacy %d (digest %#x)",
+					len(got.Events), obs.DigestEvents(got.Events),
+					len(want.Events), obs.DigestEvents(want.Events))
+			}
+			if !reflect.DeepEqual(got.GoldenEvents, want.GoldenEvents) {
+				t.Errorf("golden event streams differ")
+			}
+		})
+	}
+}
+
+// TestCheckpointRestoreDifferential proves restore+run ≡ straight run
+// for every checkpoint: a capture instance is run to the horizon once
+// for reference outputs and a reference forward digest, then rewound to
+// each checkpoint in turn and re-run. Every replay must reproduce the
+// reference bit-for-bit — the restore-layer half of the fork soundness
+// argument, isolated from fault injection and checkpoint selection.
+func TestCheckpointRestoreDifferential(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	inst, err := w.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := w.Horizon()
+	cs, err := captureCheckpoints(inst, nil, des.Millisecond, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.states) < 3 {
+		t.Fatalf("only %d checkpoints captured", len(cs.states))
+	}
+	// Finish the capture run: this instance's full trajectory is the
+	// reference every replay must match. The phantom stays queued (it
+	// sits at MaxTime), so ForwardDigest skips it on both sides.
+	if err := inst.Sim.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	refWrites := append([]Write(nil), inst.Rec.Writes...)
+	refOmissions := inst.Rec.Omissions
+	refMasked := inst.Rec.MaskedReleases
+	refDigest := inst.Kernel.ForwardDigest(cs.phantom)
+	refStats := inst.Kernel.Stats()
+
+	for k, st := range cs.states {
+		inst.Restore(st, nil)
+		if got := inst.Sim.Now(); got != st.at {
+			t.Fatalf("checkpoint %d: restored clock %v, want %v", k, got, st.at)
+		}
+		if got := inst.Kernel.ForwardDigest(cs.phantom); got != st.fwdDigest {
+			t.Fatalf("checkpoint %d: restored digest %#x, want captured %#x", k, got, st.fwdDigest)
+		}
+		if err := inst.Sim.RunUntil(horizon); err != nil {
+			t.Fatalf("checkpoint %d: replay: %v", k, err)
+		}
+		if !reflect.DeepEqual(inst.Rec.Writes, refWrites) {
+			t.Fatalf("checkpoint %d: replay wrote %v, want %v", k, inst.Rec.Writes, refWrites)
+		}
+		if inst.Rec.Omissions != refOmissions || inst.Rec.MaskedReleases != refMasked {
+			t.Fatalf("checkpoint %d: replay counters (%d,%d), want (%d,%d)", k,
+				inst.Rec.Omissions, inst.Rec.MaskedReleases, refOmissions, refMasked)
+		}
+		if got := inst.Kernel.ForwardDigest(cs.phantom); got != refDigest {
+			t.Fatalf("checkpoint %d: replay digest %#x, want %#x", k, got, refDigest)
+		}
+		if got := inst.Kernel.Stats(); !reflect.DeepEqual(got.ErrorsDetected, refStats.ErrorsDetected) {
+			t.Fatalf("checkpoint %d: replay detections %v, want %v", k,
+				got.ErrorsDetected, refStats.ErrorsDetected)
+		}
+	}
+}
+
+// TestCheckpointSelection pins the walk-back rule: the fork base for a
+// fault at t is the latest checkpoint strictly before t whose committed
+// CPU slices all ended by t.
+func TestCheckpointSelection(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	inst, err := w.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := captureCheckpoints(inst, nil, des.Millisecond, w.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.selectFor(0); got != 0 {
+		t.Errorf("fault at 0: checkpoint %d, want 0", got)
+	}
+	for k, st := range cs.states {
+		if k == 0 {
+			continue
+		}
+		// A fault exactly at a checkpoint instant must fork from an
+		// earlier one (strictly-before rule: the injection priority band
+		// fires before any same-instant model event).
+		if got := cs.selectFor(st.at); got >= k {
+			t.Errorf("fault at checkpoint %d instant: selected %d, want < %d", k, got, k)
+		}
+		if st.kern.CPUBusyUntil() <= st.at {
+			// The checkpoint is idle-clean: a fault just after its instant
+			// may fork from it.
+			if got := cs.selectFor(st.at + 1); got != k {
+				t.Errorf("fault just after checkpoint %d: selected %d", k, got)
+			}
+		}
+	}
+	// Monotonicity: later faults never select earlier checkpoints.
+	prev := 0
+	for at := des.Time(0); at < w.Horizon(); at += 100 * des.Microsecond {
+		got := cs.selectFor(at)
+		if got < prev {
+			t.Fatalf("selection regressed: fault %v -> checkpoint %d after %d", at, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestInjectionWindowHalfOpen pins the half-open injection-window
+// contract: drawFault yields instants in [start, end) — start is
+// drawable, end never is.
+func TestInjectionWindowHalfOpen(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	cfg := CampaignConfig{}
+	cfg.applyDefaults()
+	start, end := w.InjectionWindow()
+	for i := 0; i < 4096; i++ {
+		rng := des.NewRandIndexed(99, uint64(i))
+		f := drawFault(w, cfg, rng)
+		if f.At < start || f.At >= end {
+			t.Fatalf("draw %d: fault at %v outside [%v, %v)", i, f.At, start, end)
+		}
+	}
+	// A width-1 window pins the draw to the start instant exactly.
+	nw := narrowWindow{Workload: w, start: 41, end: 42}
+	for i := 0; i < 64; i++ {
+		rng := des.NewRandIndexed(99, uint64(i))
+		if f := drawFault(nw, cfg, rng); f.At != 41 {
+			t.Fatalf("width-1 window drew %v, want 41", f.At)
+		}
+	}
+}
+
+// narrowWindow overrides a workload's injection window.
+type narrowWindow struct {
+	Workload
+	start, end des.Time
+}
+
+func (n narrowWindow) InjectionWindow() (des.Time, des.Time) { return n.start, n.end }
+
+// TestForkZeroAlloc gates the fork engine's steady state: once a
+// worker's checkpoints are captured and one trial has warmed the
+// scratch, restoring a checkpoint and digesting the machine must not
+// allocate. (Snapshot capture itself is per-worker cold-path work and
+// may allocate its retained buffers.)
+func TestForkZeroAlloc(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true})
+	inst, err := w.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := captureCheckpoints(inst, nil, des.Millisecond, w.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: one restore of each checkpoint plus one re-capture.
+	for _, st := range cs.states {
+		inst.Restore(st, nil)
+	}
+	var rescratch InstanceState
+	inst.Snapshot(&rescratch, nil)
+	k := 0
+	if got := testing.AllocsPerRun(64, func() {
+		inst.Restore(cs.states[k], nil)
+		_ = inst.Kernel.ForwardDigest(cs.phantom)
+		k = (k + 1) % len(cs.states)
+	}); got != 0 {
+		t.Errorf("restore+digest allocates %v per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(64, func() {
+		inst.Snapshot(&rescratch, nil)
+	}); got != 0 {
+		t.Errorf("warm snapshot allocates %v per run, want 0", got)
+	}
+}
+
+// TestInstanceSnapshotRoundTrip exercises the snapshot layer across a
+// mutation: capture, run further (mutating every component), restore,
+// and require a fresh capture to reproduce the original — including the
+// collector, which campaigns with telemetry rewind per trial.
+func TestInstanceSnapshotRoundTrip(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{ECC: true}).(*stdWorkload)
+	col := obs.NewCollector("")
+	col.SetEventLimit(128)
+	inst, err := w.NewObserved(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Sim.RunUntil(2 * des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var at2 InstanceState
+	inst.Snapshot(&at2, col)
+	digest2 := inst.Kernel.ForwardDigest(des.Event{})
+	events2 := len(col.Events())
+
+	// Mutate everything: more simulation, a memory fault, a register
+	// fault.
+	if err := inst.Sim.RunUntil(4 * des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	inst.Kernel.Mem().FlipBit(0x8000, 3)
+	inst.Kernel.Proc().FlipRegister(4, 17)
+
+	inst.Restore(&at2, col)
+	if got := inst.Sim.Now(); got != 2*des.Millisecond {
+		t.Fatalf("restored clock %v", got)
+	}
+	if got := inst.Kernel.ForwardDigest(des.Event{}); got != digest2 {
+		t.Fatalf("restored digest %#x, want %#x", got, digest2)
+	}
+	if got := len(col.Events()); got != events2 {
+		t.Fatalf("restored collector holds %d events, want %d", got, events2)
+	}
+	var again InstanceState
+	inst.Snapshot(&again, col)
+	if !reflect.DeepEqual(again.writes, at2.writes) {
+		t.Fatalf("re-captured writes %v, want %v", again.writes, at2.writes)
+	}
+	if again.omissions != at2.omissions || again.maskedReleases != at2.maskedReleases {
+		t.Fatalf("re-captured counters differ")
+	}
+}
+
+// TestResolveForkInterval pins the spacing policy: explicit config wins,
+// then the workload's hint, then horizon/8; pathologically small
+// intervals are clamped so the store stays bounded.
+func TestResolveForkInterval(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	if got := resolveForkInterval(w, &CampaignConfig{}); got != des.Millisecond {
+		t.Errorf("hinted interval %v, want the 1ms period", got)
+	}
+	if got := resolveForkInterval(w, &CampaignConfig{SnapshotInterval: 2 * des.Millisecond}); got != 2*des.Millisecond {
+		t.Errorf("explicit interval %v, want 2ms", got)
+	}
+	cfg := &CampaignConfig{SnapshotInterval: 1}
+	if got := resolveForkInterval(w, cfg); got < w.Horizon()/maxCheckpoints {
+		t.Errorf("interval %v below the %d-checkpoint clamp", got, maxCheckpoints)
+	}
+	nh := noHint{w}
+	if got := resolveForkInterval(nh, &CampaignConfig{}); got != nh.Horizon()/8 {
+		t.Errorf("unhinted interval %v, want horizon/8 = %v", got, nh.Horizon()/8)
+	}
+}
+
+// noHint wraps a workload, hiding any SnapshotHinter implementation.
+type noHint struct{ w Workload }
+
+func (n noHint) New() (*Instance, error)               { return n.w.New() }
+func (n noHint) Horizon() des.Time                     { return n.w.Horizon() }
+func (n noHint) InjectionWindow() (des.Time, des.Time) { return n.w.InjectionWindow() }
+func (n noHint) DataRange() (uint32, uint32)           { return n.w.DataRange() }
+func (n noHint) CodeRange() (uint32, uint32)           { return n.w.CodeRange() }

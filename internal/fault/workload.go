@@ -57,7 +57,9 @@ type Workload interface {
 	New() (*Instance, error)
 	// Horizon is the simulated duration of one trial.
 	Horizon() des.Time
-	// InjectionWindow bounds the injection instants (within the horizon,
+	// InjectionWindow bounds the injection instants as the HALF-OPEN
+	// interval [start, end): drawFault draws start + Intn(end-start), so
+	// start itself can be drawn but end never is (within the horizon,
 	// leaving room for the last release to settle).
 	InjectionWindow() (start, end des.Time)
 	// DataRange returns a task state region for memory-data faults.
@@ -247,11 +249,18 @@ func (w *stdWorkload) Horizon() des.Time {
 	return des.Time(w.cfg.Periods)*w.cfg.Period + w.cfg.Period/2
 }
 
-// InjectionWindow implements Workload: skip the first period's settling
-// and leave the last release room to recover before the horizon.
+// InjectionWindow implements Workload: the half-open window [0,
+// (Periods-1)·Period) leaves the last release room to recover before
+// the horizon. The end instant itself is never drawn (see the
+// interface's half-open contract), so the final release always starts
+// fault-free.
 func (w *stdWorkload) InjectionWindow() (des.Time, des.Time) {
 	return 0, des.Time(w.cfg.Periods-1) * w.cfg.Period
 }
+
+// SnapshotInterval implements SnapshotHinter: one task period, so fork
+// checkpoints land exactly on release boundaries.
+func (w *stdWorkload) SnapshotInterval() des.Time { return w.cfg.Period }
 
 // DataRange implements Workload.
 func (w *stdWorkload) DataRange() (uint32, uint32) { return stdData, 8 }

@@ -506,6 +506,7 @@ func (k *Kernel) acquireJob(t *tcb) *job {
 		j.resumeFn = func() { k.dispatchIfCurrent(j) }                 //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
 		j.completeFn = func() { k.copyComplete(j) }                    //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
 		j.errorFn = func() { k.handleDetectedError(j, j.pendingMech) } //nlft:allow noalloc cold pool-miss path: continuation bound once per job record
+		t.allJobs = append(t.allJobs, j)
 	}
 	j.state = jobReady
 	j.copyIndex = 1
@@ -1057,7 +1058,10 @@ func (k *Kernel) failSilent(reason string) {
 	k.failed = true
 	k.failReason = reason
 	k.current = nil
-	k.ready = nil
+	// Truncate rather than nil out the ready set: the backing array is
+	// retained so a checkpoint restore (internal/fault's fork engine) can
+	// rebuild it without allocating.
+	k.ready = k.ready[:0]
 	k.trace(TraceNodeFailSilent, "", 0, reason)
 	if k.OnFailSilent != nil {
 		k.OnFailSilent(k.sim.Now(), reason)

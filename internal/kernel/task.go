@@ -233,6 +233,13 @@ type tcb struct {
 	// allocation-free. At most two records rotate per task (the old job
 	// can still be live at its deadline when the next release fires).
 	freeJobs []*job
+	// allJobs lists every job record ever allocated for this task, in
+	// allocation order. The checkpoint/fork engine uses it as the stable
+	// enumeration of the task's job pool: snapshots index jobs by their
+	// position here, so a restore can rewind each record in place without
+	// breaking the identity that the record's bound continuation
+	// callbacks and any queued events rely on.
+	allJobs []*job
 	// stateCRC protects the task's state region between activations
 	// (data-integrity check, Table 1); stateImage is the committed copy
 	// used to recover from a CRC mismatch (data duplication, §2.6).

@@ -1,0 +1,46 @@
+package node
+
+import (
+	"repro/internal/des"
+)
+
+// BehavioralState is preallocated scratch for
+// BehavioralNode.Snapshot/Restore. The node's recurring fault arrivals
+// and any in-flight repair live in the simulator's event queue; a caller
+// rewinding the node restores the simulator from the same checkpoint, so
+// the bound callbacks (identity-preserved on the same node) fire on the
+// restored timeline exactly as they would have.
+type BehavioralState struct {
+	state  State
+	masked uint64
+	// repair is the pooled handle of the in-flight repair event. It is a
+	// checkpoint copy of the node's own handle, restored wholesale with
+	// the simulator's event pool, whose generation rewind revalidates
+	// exactly this handle.
+	repair des.Event //nlft:allow eventhandle checkpoint copy of the node's own handle: restored wholesale with the event pool, whose generation rewind revalidates exactly this handle
+	rng    [4]uint64
+}
+
+// Snapshot captures the node's mutable state — failure-semantics state,
+// masked-transient counter, repair handle, and the private RNG stream —
+// into st.
+//
+//nlft:noalloc
+func (n *BehavioralNode) Snapshot(into *BehavioralState) {
+	into.state = n.state
+	into.masked = n.masked
+	into.repair = n.repair
+	into.rng = n.rng.State()
+}
+
+// Restore rewinds the node to a state captured from the same node with
+// Snapshot. The simulator must be rewound to the same checkpoint by the
+// caller.
+//
+//nlft:noalloc
+func (n *BehavioralNode) Restore(from *BehavioralState) {
+	n.state = from.state
+	n.masked = from.masked
+	n.repair = from.repair
+	n.rng.SetState(from.rng)
+}

@@ -1,0 +1,88 @@
+package node
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestBehavioralSnapshotDifferential proves restore+run ≡ straight run
+// for a behavioural node: capture mid-trajectory (with fault arrivals
+// and possibly a repair in flight), run on, rewind node + simulator, and
+// require the identical transition suffix. The repair event handle is
+// restored wholesale with the simulator's event pool, so an in-flight
+// repair resumes on the restored timeline.
+func TestBehavioralSnapshotDifferential(t *testing.T) {
+	sim := des.New()
+	rng := des.NewRand(17)
+	// High transient rate with full coverage and no permanent faults, so
+	// the node keeps cycling Working <-> down states for the whole run
+	// instead of absorbing into PermanentDown/Uncovered — the captured
+	// window and the replayed suffix both contain many transitions.
+	r := Rates{LambdaP: 0, LambdaT: 7200, CD: 1, PT: 0.4, POM: 0.3, PFS: 0.3,
+		MuR: 36000, MuOM: 36000}
+	n, err := NewBehavioral(sim, rng, "n0", NLFTBehavior, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []string
+	n.OnChange = func(n *BehavioralNode, from, to State) {
+		log = append(log, fmt.Sprintf("%v@%d->%v", from, sim.Now(), to))
+	}
+
+	hour := des.Time(3600) * des.Second
+	if err := sim.RunUntil(hour / 2); err != nil {
+		t.Fatal(err)
+	}
+	var simSt des.SimState
+	var nodeSt BehavioralState
+	sim.Snapshot(&simSt)
+	n.Snapshot(&nodeSt)
+	mark := len(log)
+
+	if err := sim.RunUntil(hour); err != nil {
+		t.Fatal(err)
+	}
+	wantSuffix := append([]string(nil), log[mark:]...)
+	wantState, wantMasked := n.State(), n.Masked()
+	if len(wantSuffix) == 0 {
+		t.Fatal("trajectory suffix empty; raise the rates so the test exercises transitions")
+	}
+
+	sim.Restore(&simSt)
+	n.Restore(&nodeSt)
+	log = log[:mark]
+	if err := sim.RunUntil(hour); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log[mark:], wantSuffix) {
+		t.Fatalf("replay transitions diverged:\n got %v\nwant %v", log[mark:], wantSuffix)
+	}
+	if n.State() != wantState || n.Masked() != wantMasked {
+		t.Errorf("replay ended %v/%d masked, want %v/%d",
+			n.State(), n.Masked(), wantState, wantMasked)
+	}
+}
+
+// TestBehavioralSnapshotZeroAlloc gates the warm node capture/restore.
+func TestBehavioralSnapshotZeroAlloc(t *testing.T) {
+	sim := des.New()
+	rng := des.NewRand(3)
+	r := Rates{LambdaP: 10, LambdaT: 1000, CD: 0.98, PT: 0.9, POM: 0.05, PFS: 0.05,
+		MuR: 360, MuOM: 3600}
+	n, err := NewBehavioral(sim, rng, "n0", NLFTBehavior, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st BehavioralState
+	n.Snapshot(&st)
+	n.Restore(&st)
+	if got := testing.AllocsPerRun(32, func() {
+		n.Snapshot(&st)
+		n.Restore(&st)
+	}); got != 0 {
+		t.Errorf("warm snapshot/restore allocates %v per run, want 0", got)
+	}
+}

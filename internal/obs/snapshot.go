@@ -1,0 +1,107 @@
+package obs
+
+// CollectorState is preallocated scratch for Collector.Snapshot/Restore,
+// used by the checkpoint/fork campaign engine: a forked trial rewinds
+// its worker's collector to the golden prefix's telemetry so that the
+// trial's final registry and event stream are bit-identical to a trial
+// simulated from scratch. Construct with NewCollectorState.
+type CollectorState struct {
+	counters map[Key]uint64
+	gauges   map[Key]Gauge
+	hists    map[Key]Histogram
+	events   []Event
+	dropped  uint64
+	limit    int
+	disabled bool
+}
+
+// NewCollectorState returns scratch ready for Snapshot, with maps
+// pre-sized like the registry's own.
+func NewCollectorState() *CollectorState {
+	return &CollectorState{
+		counters: make(map[Key]uint64, 48),
+		gauges:   make(map[Key]Gauge, 4),
+		hists:    make(map[Key]Histogram, 4),
+	}
+}
+
+// Snapshot copies the collector's registry values and event stream into
+// st. Series are captured by value (not by pointer), so a later Restore
+// can rewind the live series objects in place without invalidating
+// pointers that instrumented components cached at build time.
+//
+//nlft:noalloc
+func (c *Collector) Snapshot(into *CollectorState) {
+	clear(into.counters)
+	//nlft:allow nodeterminism capture order is irrelevant: entries refill maps keyed identically on restore
+	for k, ctr := range c.reg.counters {
+		into.counters[k] = ctr.n
+	}
+	clear(into.gauges)
+	//nlft:allow nodeterminism capture order is irrelevant: entries refill maps keyed identically on restore
+	for k, g := range c.reg.gauges {
+		into.gauges[k] = *g
+	}
+	clear(into.hists)
+	//nlft:allow nodeterminism capture order is irrelevant: entries refill maps keyed identically on restore
+	for k, h := range c.reg.hists {
+		into.hists[k] = *h
+	}
+	into.events = append(into.events[:0], c.s.events...)
+	into.dropped = c.s.dropped
+	into.limit = c.s.limit
+	into.disabled = c.s.disabled
+}
+
+// Restore rewinds the collector to a state captured from the same
+// instance with Snapshot. Series that existed at capture time are
+// restored in place — the Counter/Gauge/Histogram objects persist, so
+// pointers resolved before the capture (the kernel's cached cycle
+// counters, AttachSimulator's band counters) remain valid. Series
+// created after the capture are deleted, and the collector's kind-cache
+// is invalidated because it may point at them. The restored event
+// buffer is copied back in full: a previous forked trial may have
+// overwritten the tail of the shared buffer, so truncation alone would
+// resurrect the wrong suffix.
+//
+//nlft:noalloc
+func (c *Collector) Restore(from *CollectorState) {
+	r := c.reg
+	//nlft:allow nodeterminism in-place value restore per key; iteration order cannot affect the resulting registry
+	for k, v := range from.counters {
+		r.Counter(k).n = v
+	}
+	//nlft:allow nodeterminism deleting every live key absent from the snapshot; order cannot affect the surviving set
+	for k := range r.counters {
+		if _, ok := from.counters[k]; !ok {
+			delete(r.counters, k)
+		}
+	}
+	//nlft:allow nodeterminism in-place value restore per key; iteration order cannot affect the resulting registry
+	for k, v := range from.gauges {
+		*r.Gauge(k) = v
+	}
+	//nlft:allow nodeterminism deleting every live key absent from the snapshot; order cannot affect the surviving set
+	for k := range r.gauges {
+		if _, ok := from.gauges[k]; !ok {
+			delete(r.gauges, k)
+		}
+	}
+	//nlft:allow nodeterminism in-place value restore per key; iteration order cannot affect the resulting registry
+	for k, v := range from.hists {
+		*r.Histogram(k) = v
+	}
+	//nlft:allow nodeterminism deleting every live key absent from the snapshot; order cannot affect the surviving set
+	for k := range r.hists {
+		if _, ok := from.hists[k]; !ok {
+			delete(r.hists, k)
+		}
+	}
+	c.s.events = append(c.s.events[:0], from.events...)
+	c.s.dropped = from.dropped
+	c.s.limit = from.limit
+	c.s.disabled = from.disabled
+	// The kind cache may hold pointers to series deleted above.
+	c.cacheNode, c.cacheTask = "", ""
+	c.kindCache = [kindCount]*Counter{}
+}

@@ -1,0 +1,194 @@
+package ttnet
+
+// Checkpoint layer for the bus, mirroring the snapshot contract used by
+// the fork campaign engine (internal/fault): state is captured into, and
+// restored from, preallocated scratch, and the warm paths are
+// allocation-free. Identity is preserved — a snapshot taken from a Bus
+// must be restored into the same Bus, whose endpoints, bound schedule
+// callbacks, and slot assignment are configuration, not state.
+//
+// Restore reuses the live frames' payload backings. That is sound for
+// checkpoint/rewind use: every staged payload is bus-owned until
+// delivery, so any receiver that retained a frame received it after the
+// capture instant, on the abandoned timeline — and a caller rewinding
+// the bus rewinds those receivers too.
+
+// dynMsgState is one queued event-triggered message.
+type dynMsgState struct {
+	prio    int
+	seq     uint64
+	payload []uint32
+}
+
+// frameState is one staged frame (static slot or dynamic FIFO).
+type frameState struct {
+	cycle   uint64
+	slot    int
+	sender  NodeID
+	valid   bool
+	staged  bool // distinguishes an empty slot from a staged zero frame
+	payload []uint32
+}
+
+// endpointState is one endpoint's mutable state.
+type endpointState struct {
+	silent         bool
+	dynWhileSilent bool
+	queue          []dynMsgState
+}
+
+// BusState is preallocated scratch for Bus.Snapshot/Restore.
+type BusState struct {
+	cycle       uint64
+	dynSeq      uint64
+	stats       Stats
+	transmitted []NodeID
+	corrupt     []int
+	pending     []frameState
+	dynPend     []frameState
+	dynHead     int
+	endpoints   []endpointState
+}
+
+// captureFrame deep-copies a frame into scratch, reusing the scratch
+// payload backing.
+//
+//nlft:noalloc
+func captureFrame(into *frameState, f *Frame, staged bool) {
+	into.cycle = f.Cycle
+	into.slot = f.Slot
+	into.sender = f.Sender
+	into.valid = f.Valid
+	into.staged = staged
+	into.payload = append(into.payload[:0], f.Payload...)
+}
+
+// restoreFrame copies a captured frame back, reusing the live payload
+// backing (see the retention note in the file header).
+//
+//nlft:noalloc
+func restoreFrame(f *Frame, from *frameState) {
+	f.Cycle = from.cycle
+	f.Slot = from.slot
+	f.Sender = from.sender
+	f.Valid = from.valid
+	if len(from.payload) == 0 {
+		f.Payload = f.Payload[:0]
+		if !from.staged {
+			f.Payload = nil
+		}
+		return
+	}
+	f.Payload = append(f.Payload[:0], from.payload...)
+}
+
+// Snapshot captures the bus's mutable state — cycle position, membership
+// accumulator, pending corruptions, staged frames, dynamic queues, and
+// counters — into st. Must be called on a started bus.
+//
+//nlft:noalloc
+func (b *Bus) Snapshot(into *BusState) {
+	into.cycle = b.cycle
+	into.dynSeq = b.dynSeq
+	into.stats = b.stats
+	into.transmitted = into.transmitted[:0]
+	into.corrupt = into.corrupt[:0]
+	// Iterate attachment / slot order, not the maps, so capture order is
+	// deterministic.
+	for _, id := range b.order {
+		if b.transmitted[id] {
+			into.transmitted = append(into.transmitted, id)
+		}
+	}
+	for slot := 0; slot < b.cfg.StaticSlots; slot++ {
+		if b.corruptNext[slot] {
+			into.corrupt = append(into.corrupt, slot)
+		}
+	}
+	for len(into.pending) < len(b.pendingFrame) {
+		into.pending = append(into.pending, frameState{})
+	}
+	into.pending = into.pending[:len(b.pendingFrame)]
+	for i := range b.pendingFrame {
+		f := &b.pendingFrame[i]
+		captureFrame(&into.pending[i], f, f.Sender != "")
+	}
+	for len(into.dynPend) < len(b.dynPend) {
+		into.dynPend = append(into.dynPend, frameState{})
+	}
+	into.dynPend = into.dynPend[:len(b.dynPend)]
+	for i := range b.dynPend {
+		captureFrame(&into.dynPend[i], &b.dynPend[i], true)
+	}
+	into.dynHead = b.dynHead
+	for len(into.endpoints) < len(b.order) {
+		into.endpoints = append(into.endpoints, endpointState{})
+	}
+	into.endpoints = into.endpoints[:len(b.order)]
+	for i, id := range b.order {
+		e := b.endpoints[id]
+		es := &into.endpoints[i]
+		es.silent = e.silent
+		es.dynWhileSilent = e.dynWhileSilent
+		for len(es.queue) < len(e.dynQueue) {
+			es.queue = append(es.queue, dynMsgState{})
+		}
+		es.queue = es.queue[:len(e.dynQueue)]
+		for qi := range e.dynQueue {
+			m := &e.dynQueue[qi]
+			qs := &es.queue[qi]
+			qs.prio = m.prio
+			qs.seq = m.seq
+			qs.payload = append(qs.payload[:0], m.payload...)
+		}
+	}
+}
+
+// Restore rewinds the bus to a state captured from the same Bus with
+// Snapshot. The schedule's pending events (slot starts, deliveries,
+// cycle end) live in the simulator and must be rewound alongside by the
+// caller — the fork engine restores the simulator and every attached
+// component from the same checkpoint.
+//
+//nlft:noalloc
+func (b *Bus) Restore(from *BusState) {
+	b.cycle = from.cycle
+	b.dynSeq = from.dynSeq
+	b.stats = from.stats
+	clear(b.transmitted)
+	for _, id := range from.transmitted {
+		b.transmitted[id] = true
+	}
+	clear(b.corruptNext)
+	for _, slot := range from.corrupt {
+		b.corruptNext[slot] = true
+	}
+	for i := range from.pending {
+		restoreFrame(&b.pendingFrame[i], &from.pending[i])
+	}
+	for len(b.dynPend) < len(from.dynPend) {
+		b.dynPend = append(b.dynPend, Frame{})
+	}
+	b.dynPend = b.dynPend[:len(from.dynPend)]
+	for i := range from.dynPend {
+		restoreFrame(&b.dynPend[i], &from.dynPend[i])
+	}
+	b.dynHead = from.dynHead
+	for i, id := range b.order {
+		e := b.endpoints[id]
+		es := &from.endpoints[i]
+		e.silent = es.silent
+		e.dynWhileSilent = es.dynWhileSilent
+		for len(e.dynQueue) < len(es.queue) {
+			e.dynQueue = append(e.dynQueue, dynMsg{})
+		}
+		e.dynQueue = e.dynQueue[:len(es.queue)]
+		for qi := range es.queue {
+			qs := &es.queue[qi]
+			m := &e.dynQueue[qi]
+			m.prio = qs.prio
+			m.seq = qs.seq
+			m.payload = append(m.payload[:0], qs.payload...)
+		}
+	}
+}

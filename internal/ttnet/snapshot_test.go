@@ -1,0 +1,144 @@
+package ttnet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// buildSnapshotBus wires a two-node bus with a dynamic segment whose
+// endpoints log every delivered frame and membership view into log.
+func buildSnapshotBus(t *testing.T, sim *des.Simulator, log *[]string) *Bus {
+	t.Helper()
+	bus, err := NewBus(sim, Config{
+		SlotLen:     des.Millisecond,
+		StaticSlots: 2,
+		DynamicLen:  500 * des.Microsecond,
+		DynMiniSlot: 100 * des.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epA *Endpoint
+	for _, id := range []NodeID{"a", "b"} {
+		id := id
+		ep, err := bus.Attach(id,
+			func(cycle uint64, slot int) []uint32 {
+				if id == "b" && cycle%3 == 2 {
+					return nil // periodic omission, visible to membership
+				}
+				return []uint32{uint32(cycle), uint32(slot)}
+			},
+			func(f Frame) {
+				*log = append(*log, fmt.Sprintf("%s<-%s c%d s%d v%v p%v",
+					id, f.Sender, f.Cycle, f.Slot, f.Valid, f.Payload))
+			},
+			func(cycle uint64, view map[NodeID]bool) {
+				*log = append(*log, fmt.Sprintf("%s cycle%d a=%v b=%v",
+					id, cycle, view["a"], view["b"]))
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "a" {
+			epA = ep
+		}
+	}
+	if err := bus.AssignSlot(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AssignSlot(1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Event-triggered traffic: node a queues one message per cycle.
+	prev := epA.onCycle
+	epA.onCycle = func(cycle uint64, view map[NodeID]bool) {
+		prev(cycle, view)
+		epA.SendDynamic(int(cycle%2), []uint32{0xD0 + uint32(cycle)})
+	}
+	if err := bus.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return bus
+}
+
+// TestBusSnapshotDifferential proves restore+run ≡ straight run for the
+// bus: capture mid-schedule (with staged frames, queued dynamic
+// messages, a pending corruption, and partial membership), run to the
+// horizon, rewind, rerun, and require the identical delivery/membership
+// suffix and final counters.
+func TestBusSnapshotDifferential(t *testing.T) {
+	sim := des.New()
+	var log []string
+	bus := buildSnapshotBus(t, sim, &log)
+	bus.CorruptNextFrame(1)
+
+	// Capture at an instant strictly inside a cycle so staged state is
+	// live.
+	captureAt := 3*des.Millisecond + 300*des.Microsecond
+	if err := sim.RunUntil(captureAt); err != nil {
+		t.Fatal(err)
+	}
+	bus.CorruptNextFrame(0)
+	var simSt des.SimState
+	var busSt BusState
+	sim.Snapshot(&simSt)
+	bus.Snapshot(&busSt)
+	mark := len(log)
+
+	horizon := 11 * des.Millisecond
+	if err := sim.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	wantSuffix := append([]string(nil), log[mark:]...)
+	wantStats := bus.Stats()
+	wantCycle := bus.Cycle()
+
+	sim.Restore(&simSt)
+	bus.Restore(&busSt)
+	log = log[:mark]
+	if err := sim.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log[mark:], wantSuffix) {
+		t.Fatalf("replay suffix diverged:\n got %v\nwant %v", log[mark:], wantSuffix)
+	}
+	if bus.Stats() != wantStats {
+		t.Errorf("replay stats %+v, want %+v", bus.Stats(), wantStats)
+	}
+	if bus.Cycle() != wantCycle {
+		t.Errorf("replay cycle %d, want %d", bus.Cycle(), wantCycle)
+	}
+}
+
+// TestBusSnapshotZeroAlloc gates the warm capture/restore paths.
+func TestBusSnapshotZeroAlloc(t *testing.T) {
+	sim := des.New()
+	var log []string
+	bus := buildSnapshotBus(t, sim, &log)
+	if err := sim.RunUntil(3*des.Millisecond + 300*des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	var simSt des.SimState
+	var busSt BusState
+	// Warm both scratches, then require steady-state captures and
+	// restores to stay allocation-free.
+	sim.Snapshot(&simSt)
+	bus.Snapshot(&busSt)
+	sim.Restore(&simSt)
+	bus.Restore(&busSt)
+	if got := testing.AllocsPerRun(32, func() {
+		sim.Snapshot(&simSt)
+		bus.Snapshot(&busSt)
+	}); got != 0 {
+		t.Errorf("warm snapshot allocates %v per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(32, func() {
+		sim.Restore(&simSt)
+		bus.Restore(&busSt)
+	}); got != 0 {
+		t.Errorf("warm restore allocates %v per run, want 0", got)
+	}
+}
