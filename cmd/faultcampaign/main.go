@@ -8,7 +8,8 @@
 //	faultcampaign [-trials N] [-seed S] [-ecc] [-compute N] [-targets list]
 //	              [-parallel N] [-cpuprofile file] [-memprofile file] [-progress]
 //	              [-metrics-out file] [-trace-out file]
-//	              [-no-fork] [-snapshot-interval d] [-converge-cutoff=false]
+//	              [-no-fork] [-snapshot-interval d] [-snapshot-stats]
+//	              [-converge-cutoff=false]
 //
 // -metrics-out enables campaign telemetry and exports the merged metrics
 // registry (JSON, or CSV if the name ends in .csv); the per-mechanism
@@ -21,9 +22,10 @@
 // trial restores the latest checkpoint before its injection instant
 // instead of re-simulating from t=0. Results are bit-identical either
 // way; -no-fork is the escape hatch forcing the legacy from-scratch
-// path, -snapshot-interval overrides the checkpoint spacing (default:
-// the workload's period), and -converge-cutoff=false disables the
-// post-injection early-stop on state-digest convergence.
+// path, -snapshot-interval overrides the checkpoint spacing (default
+// 250µs, or the workload's hint when finer), -snapshot-stats reports the
+// checkpoint store's delta-page traffic, and -converge-cutoff=false
+// disables the post-injection early-stop on state-digest convergence.
 package main
 
 import (
@@ -54,7 +56,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "export the merged per-trial event stream as JSONL (trial 0 = golden run)")
 	progress := flag.Bool("progress", false, "report live trial progress on stderr")
 	noFork := flag.Bool("no-fork", false, "disable the checkpoint/fork engine and simulate every trial from t=0 (results are identical either way)")
-	snapshotInterval := flag.Duration("snapshot-interval", 0, "fork checkpoint spacing (0 = workload default: one task period)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "fork checkpoint spacing (0 = default 250µs, or the workload's hint when finer)")
+	snapshotStats := flag.Bool("snapshot-stats", false, "report the fork engine's checkpoint-store traffic (delta vs full-image bytes, pages copied/restored)")
 	convergeCutoff := flag.Bool("converge-cutoff", true, "stop a forked trial early once its state digest reconverges with the golden run (classification-only campaigns)")
 	flag.Parse()
 
@@ -77,6 +80,7 @@ func main() {
 		Progress:         *progress,
 		NoFork:           *noFork,
 		SnapshotInterval: nlft.Time(*snapshotInterval),
+		SnapshotStats:    *snapshotStats,
 		NoConvergeCutoff: !*convergeCutoff,
 	}
 	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel, opts); err != nil {
@@ -111,6 +115,7 @@ type outputOptions struct {
 	Progress         bool
 	NoFork           bool
 	SnapshotInterval nlft.Time
+	SnapshotStats    bool
 	NoConvergeCutoff bool
 }
 
@@ -178,6 +183,22 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 			fmt.Printf(" %s=%d", o, counts[o])
 		}
 		fmt.Println()
+	}
+
+	if opts.SnapshotStats {
+		if s := res.Snapshots; s != nil {
+			fmt.Println("\ncheckpoint-store traffic (fork engine):")
+			fmt.Printf("  checkpoints:     %d per worker × %d workers\n", s.Checkpoints, s.Workers)
+			fmt.Printf("  snapshots:       %d captures, %d pages copied (%.1f pages/capture)\n",
+				s.Snapshots, s.PagesCopied, s.MeanPagesPerSnapshot())
+			fmt.Printf("  restores:        %d, %d pages copied back (%.1f pages/restore)\n",
+				s.Restores, s.PagesRestored, s.MeanPagesPerRestore())
+			fmt.Printf("  delta bytes:     %d (full-image equivalent %d, %.1fx less)\n",
+				s.DeltaBytes(), s.FullBytes(),
+				float64(s.FullBytes())/float64(max(s.DeltaBytes(), 1)))
+		} else {
+			fmt.Println("\ncheckpoint-store traffic: n/a (fork engine disabled)")
+		}
 	}
 
 	if res.Metrics != nil {

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+// TestDispatchFixture runs the noalloc and eventhandle analyzers
+// together over the dispatch fixture: the threaded-code dispatch loop
+// (tag-validated fetch, dense handler switch) and the delta-snapshot
+// capture/restore paths must satisfy the zero-allocation contract —
+// fresh page buffers only on the justified cold path — and pooled
+// des.Event handles stored beside checkpoint state keep the usual
+// guard discipline.
+func TestDispatchFixture(t *testing.T) {
+	runAnalyzersTest(t, []*Analyzer{NoAlloc, EventHandle}, "dispatch", "repro/tools/dispatchfixture")
+}

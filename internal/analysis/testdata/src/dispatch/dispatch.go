@@ -1,0 +1,163 @@
+// Fixture for the threaded-code dispatch and delta-snapshot code
+// patterns (internal/cpu/dispatch.go and internal/cpu/snapshot.go): the
+// tag-validated fetch + dense handler switch must be allocation-free in
+// place, delta captures may allocate fresh page buffers only on the
+// justified cold path, and any pooled des.Event handle stored next to
+// the machine state still needs the usual guard or a justified allow.
+package dispatchfixture
+
+import "repro/internal/des"
+
+const pageWords = 64
+
+// page is one immutable checkpoint page buffer.
+type page struct {
+	words [pageWords]uint32
+}
+
+// microOp mirrors a predecoded instruction; word is the validation tag.
+type microOp struct {
+	word uint32
+	imm  int32
+	h    uint8
+}
+
+// machine mirrors the CPU/memory pair the dispatch loop runs over,
+// with dirty-page tracking for delta snapshots.
+type machine struct {
+	words  []uint32
+	pre    []microOp
+	regs   [16]uint32
+	pc     uint32
+	dirty  []uint64
+	shadow []*page
+	sim    *des.Simulator
+	timer  des.Event
+}
+
+// fire is the timer's bound callback.
+func (m *machine) fire() {}
+
+// disarm guards the machine's own handle the sanctioned way.
+func (m *machine) disarm() {
+	m.sim.Cancel(m.timer)
+	m.timer = des.Event{}
+}
+
+// decodeInto redecodes one instruction word in place — the
+// tag-validation path runs per stale fetch and must not allocate.
+//
+//nlft:noalloc
+func decodeInto(e *microOp, w uint32) {
+	e.word = w
+	e.imm = int32(int16(uint16(w)))
+	e.h = uint8(w >> 24)
+}
+
+// dispatch is the hot loop: tag-validated fetch plus a dense handler
+// switch, all over preallocated state.
+//
+//nlft:noalloc
+func (m *machine) dispatch(max int) {
+	for n := 0; n < max; n++ {
+		idx := m.pc >> 2
+		if idx >= uint32(len(m.pre)) {
+			return
+		}
+		e := &m.pre[idx]
+		if w := m.words[idx]; e.word != w {
+			decodeInto(e, w)
+		}
+		switch e.h {
+		case 1:
+			m.regs[1] = uint32(e.imm)
+		case 2:
+			m.regs[1] += m.regs[2]
+		}
+		m.pc += 4
+	}
+}
+
+// dispatchClosures is the anti-pattern threaded code replaces: binding
+// each micro-op to a fresh handler closure allocates on every step.
+//
+//nlft:noalloc
+func (m *machine) dispatchClosures(max int) {
+	for n := 0; n < max; n++ {
+		e := m.pre[m.pc>>2]
+		h := func() { m.regs[1] = uint32(e.imm) } // want `closure captures`
+		h()
+		m.pc += 4
+	}
+}
+
+// state is the preallocated delta-checkpoint scratch.
+type state struct {
+	pages []*page
+}
+
+// snapshotDelta is the sanctioned delta-capture shape: the page slice
+// is sized once and fresh buffers are built only for dirtied pages —
+// both cold paths carry a justified allow; everything else copies into
+// place.
+//
+//nlft:noalloc
+func (m *machine) snapshotDelta(into *state) {
+	if len(into.pages) != len(m.shadow) {
+		//nlft:allow noalloc cold first-capture sizing; the slice is retained for the state's lifetime
+		into.pages = make([]*page, len(m.shadow))
+	}
+	for p := range m.shadow {
+		if m.shadow[p] == nil || m.dirty[p>>6]&(1<<(uint(p)&63)) != 0 {
+			//nlft:allow noalloc cold capture path: a fresh immutable buffer per dirtied page, retained by the checkpoint store
+			pg := &page{}
+			copy(pg.words[:], m.words[p*pageWords:])
+			m.shadow[p] = pg
+		}
+		into.pages[p] = m.shadow[p]
+	}
+}
+
+// restoreDelta copies back only diverged pages; nothing allocates.
+//
+//nlft:noalloc
+func (m *machine) restoreDelta(from *state) {
+	for p, pg := range from.pages {
+		if m.shadow[p] == pg && m.dirty[p>>6]&(1<<(uint(p)&63)) == 0 {
+			continue
+		}
+		copy(m.words[p*pageWords:], pg.words[:])
+		m.shadow[p] = pg
+	}
+}
+
+// snapshotFull is the anti-pattern delta capture replaces: a fresh
+// full-image copy (and a fresh page table) on every checkpoint.
+//
+//nlft:noalloc
+func (m *machine) snapshotFull(into *state) {
+	into.pages = make([]*page, len(m.shadow)) // want `make\(\[\]\*page\) allocates`
+	for p := range into.pages {
+		into.pages[p] = &page{} // want `address of composite literal escapes`
+	}
+}
+
+// growTrace is the unpooled-append anti-pattern on the restore path.
+//
+//nlft:noalloc
+func (m *machine) growTrace(dst []uint32) []uint32 {
+	return append(dst, m.pc) // want `append outside the pooled self-append idiom`
+}
+
+// unguarded stores a pooled handle next to checkpoint state without the
+// guard discipline or a justified allow.
+type unguarded struct {
+	deadline des.Event // want `stores a pooled des\.Event handle but the package never guards it`
+}
+
+// capture copies the handle into the unguarded scratch.
+//
+//nlft:noalloc
+func (m *machine) capture(into *unguarded) {
+	into.deadline = m.timer
+}

@@ -1,6 +1,8 @@
 package cpu
 
-import "testing"
+import (
+	"testing"
+)
 
 // FuzzAssemble exercises the assembler with arbitrary source text:
 // it must reject or accept, never panic, and anything accepted must
@@ -44,6 +46,79 @@ func FuzzInterpreter(f *testing.F) {
 		for i := 0; i < 500; i++ {
 			if _, exc := c.Step(); exc != nil {
 				return
+			}
+		}
+	})
+}
+
+// FuzzDispatchDifferential runs the predecoded dispatch engine and the
+// interpretive reference in lockstep over arbitrary program words, with
+// input-derived bit flips injected mid-run into both machines, and
+// requires bit-identical behaviour after every instruction: same events,
+// same exceptions (kind, address, PC), same cycle charges, and same
+// state digests. This is the oracle for the predecode-invalidation
+// invariant — a flip that lands on an already-decoded instruction word
+// must be picked up by the tag compare.
+func FuzzDispatchDifferential(f *testing.F) {
+	f.Add([]byte{0x07, 0x10, 0x00, 0x05, 0xA1, 0x00, 0x00, 0x02}, false)
+	f.Add([]byte{0x07, 0x10, 0x00, 0x05, 0xA1, 0x00, 0x00, 0x02}, true)
+	f.Add([]byte{0xEE, 0x00, 0x00, 0x00}, false)
+	f.Add([]byte{0x61, 0x00, 0x00, 0x00, 0x73, 0x00, 0xFF, 0xFF}, true)
+	f.Fuzz(func(t *testing.T, raw []byte, ecc bool) {
+		build := func(predecode bool) *CPU {
+			mem := NewMemory(128, ecc)
+			for i := 0; i+3 < len(raw) && i/4 < 128; i += 4 {
+				w := uint32(raw[i])<<24 | uint32(raw[i+1])<<16 |
+					uint32(raw[i+2])<<8 | uint32(raw[i+3])
+				mem.Poke(uint32(i), w)
+			}
+			if predecode {
+				mem.EnablePredecode(128)
+			}
+			c := New(mem, nil)
+			c.Reset(0)
+			c.Regs[RegSP] = 128 * 4
+			return c
+		}
+		a := build(true)  // predecoded
+		b := build(false) // interpretive reference
+		for i := 0; i < 300; i++ {
+			if len(raw) > 0 && i%16 == 7 {
+				// Identical input-derived flips into both machines; odd
+				// selectors arm a second flip in the same word so the
+				// ECC variant exercises uncorrectable traps at fetch.
+				k := raw[(i/16)%len(raw)]
+				addr := uint32(k%128) * 4
+				bit := uint(k >> 3)
+				a.Mem.FlipBit(addr, bit)
+				b.Mem.FlipBit(addr, bit)
+				if k&1 == 1 {
+					a.Mem.FlipBit(addr, (bit+7)%32)
+					b.Mem.FlipBit(addr, (bit+7)%32)
+				}
+			}
+			eva, exca, cyca := a.RunCycles(1)
+			evb, excb, cycb := b.RunCycles(1)
+			if eva != evb || cyca != cycb {
+				t.Fatalf("step %d: predecoded (ev=%+v, %d cycles), interpretive (ev=%+v, %d cycles)",
+					i, eva, cyca, evb, cycb)
+			}
+			if (exca == nil) != (excb == nil) || (exca != nil && *exca != *excb) {
+				t.Fatalf("step %d: exceptions diverged: predecoded %v, interpretive %v", i, exca, excb)
+			}
+			if a.Regs != b.Regs || a.PC != b.PC || a.Flags != b.Flags ||
+				a.Signature != b.Signature || a.Cycles != b.Cycles || a.Retired != b.Retired {
+				t.Fatalf("step %d: CPU state diverged: predecoded pc=%#x digest=%#x, interpretive pc=%#x digest=%#x",
+					i, a.PC, a.StateDigest(), b.PC, b.StateDigest())
+			}
+			if a.Mem.StateDigest() != b.Mem.StateDigest() ||
+				a.Mem.CorrectedErrors != b.Mem.CorrectedErrors {
+				t.Fatalf("step %d: memory diverged: digests %#x vs %#x, corrected %d vs %d",
+					i, a.Mem.StateDigest(), b.Mem.StateDigest(),
+					a.Mem.CorrectedErrors, b.Mem.CorrectedErrors)
+			}
+			if exca != nil {
+				return // both trapped identically
 			}
 		}
 	})

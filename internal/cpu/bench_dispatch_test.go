@@ -1,0 +1,183 @@
+package cpu
+
+// Benchmarks for the CPU dispatch engines. Running
+//
+//	BENCH_CPU_JSON=$PWD/BENCH_cpu.json go test -run=NONE -bench=CPUDispatch ./internal/cpu
+//
+// writes the measured numbers to the named file (relative paths resolve
+// against the package directory); without the variable
+// the benchmarks only report metrics. The committed BENCH_cpu.json
+// records the predecoded engine's speedup over the per-step interpretive
+// decoder on a checksum-style compute loop.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// benchDispatchSrc mirrors the standard campaign workload's compute
+// kernel: a register-heavy checksum loop, restarted forever so the
+// benchmark never runs off the image.
+const benchDispatchSrc = `
+	.org 0x0000
+start:
+	movi r2, 0x1234
+	movi r4, 0x0777
+	movi r5, 1024
+	movi r6, 0
+loop:
+	add r6, r6, r2
+	xor r6, r6, r4
+	movi r7, 3
+	mul r6, r6, r7
+	addi r5, r5, -1
+	cmpi r5, 0
+	bgt loop
+	jmp start
+`
+
+type cpuBenchPoint struct {
+	Engine      string  `json:"engine"` // "interpretive" or "predecoded"
+	MMU         bool    `json:"mmu"`
+	NsPerInstr  float64 `json:"ns_per_instr"`
+	InstrPerSec float64 `json:"instr_per_sec"`
+	// SpeedupVsInterpretive is filled in when the file is written,
+	// pairing each predecoded point with the interpretive point of the
+	// same MMU mode.
+	SpeedupVsInterpretive float64 `json:"speedup_vs_interpretive,omitempty"`
+}
+
+// benchCPUOut accumulates results so TestMain can emit them as one JSON
+// document.
+var benchCPUOut struct {
+	mu     sync.Mutex
+	Points []cpuBenchPoint
+}
+
+type benchCPUDoc struct {
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Points     []cpuBenchPoint `json:"cpu_dispatch,omitempty"`
+}
+
+// BenchmarkCPUDispatch contrasts the per-step interpretive decoder with
+// the predecoded (threaded-code) dispatch engine on the same compute
+// loop, with and without MMU confinement (the predecoded loop's cached
+// exec window is what keeps the MMU nearly free). Both engines are
+// bit-identical in behaviour (FuzzDispatchDifferential and the lockstep
+// tests); this benchmark only asks what predecoding buys per simulated
+// instruction.
+func BenchmarkCPUDispatch(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		predecode bool
+		mmu       bool
+	}{
+		{"interpretive", false, false},
+		{"predecoded", true, false},
+		{"interpretive-mmu", false, true},
+		{"predecoded-mmu", true, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prog := MustAssemble(benchDispatchSrc)
+			mem := NewMemory(16384, false)
+			prog.LoadInto(mem)
+			if tc.predecode {
+				mem.EnablePredecode((prog.Origin + prog.SizeBytes()) / 4)
+			}
+			var mmu *MMU
+			if tc.mmu {
+				mmu = NewMMU()
+				mmu.SetRegions([]Region{
+					{Start: prog.Origin, End: prog.Origin + prog.SizeBytes(),
+						Perms: PermRead | PermExec},
+				})
+			}
+			c := New(mem, mmu)
+			c.Reset(prog.Origin)
+			c.Regs[RegSP] = mem.SizeBytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var retired uint64
+			for i := 0; i < b.N; i++ {
+				before := c.Retired
+				if _, exc, _ := c.RunCycles(8192); exc != nil {
+					b.Fatal(exc)
+				}
+				retired += c.Retired - before
+			}
+			b.StopTimer()
+			if retired == 0 {
+				b.Fatal("no instructions retired")
+			}
+			nsPerInstr := float64(b.Elapsed().Nanoseconds()) / float64(retired)
+			b.ReportMetric(1e9/nsPerInstr, "instr/s")
+			engine := "interpretive"
+			if tc.predecode {
+				engine = "predecoded"
+			}
+			pt := cpuBenchPoint{
+				Engine:      engine,
+				MMU:         tc.mmu,
+				NsPerInstr:  nsPerInstr,
+				InstrPerSec: 1e9 / nsPerInstr,
+			}
+			// Keep only the final (longest) calibration run per case.
+			benchCPUOut.mu.Lock()
+			replaced := false
+			for i := range benchCPUOut.Points {
+				if benchCPUOut.Points[i].Engine == engine && benchCPUOut.Points[i].MMU == tc.mmu {
+					benchCPUOut.Points[i] = pt
+					replaced = true
+				}
+			}
+			if !replaced {
+				benchCPUOut.Points = append(benchCPUOut.Points, pt)
+			}
+			benchCPUOut.mu.Unlock()
+		})
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_CPU_JSON"); path != "" {
+		benchCPUOut.mu.Lock()
+		doc := benchCPUDoc{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Points:     benchCPUOut.Points,
+		}
+		benchCPUOut.mu.Unlock()
+		if doc.Points != nil {
+			base := map[bool]float64{}
+			for _, p := range doc.Points {
+				if p.Engine == "interpretive" {
+					base[p.MMU] = p.NsPerInstr
+				}
+			}
+			for i := range doc.Points {
+				if b := base[doc.Points[i].MMU]; b > 0 && doc.Points[i].Engine == "predecoded" {
+					doc.Points[i].SpeedupVsInterpretive = b / doc.Points[i].NsPerInstr
+				}
+			}
+			out, err := json.MarshalIndent(doc, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, append(out, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "BENCH_CPU_JSON:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}
+	os.Exit(code)
+}

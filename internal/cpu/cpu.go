@@ -366,10 +366,17 @@ func (c *CPU) branchTaken(op Opcode) bool {
 
 // Run executes instructions until an event with Sys != 0, an exception,
 // or maxInstructions retire. It returns the final event and exception
-// (nil when the instruction budget ran out first).
+// (nil when the instruction budget ran out first). With a predecode
+// cache attached (Memory.EnablePredecode) the threaded-code dispatch
+// loop runs instead of the interpretive one; behaviour is bit-identical
+// (see dispatch.go).
 //
 //nlft:noalloc
 func (c *CPU) Run(maxInstructions uint64) (Event, *Exception) {
+	if c.Mem.pre != nil {
+		ev, exc, _ := c.runPredecoded(maxInstructions, ^uint64(0))
+		return ev, exc
+	}
 	for i := uint64(0); i < maxInstructions; i++ {
 		ev, exc := c.Step()
 		if exc != nil {
@@ -390,6 +397,9 @@ func (c *CPU) Run(maxInstructions uint64) (Event, *Exception) {
 //
 //nlft:noalloc
 func (c *CPU) RunCycles(maxCycles uint64) (Event, *Exception, uint64) {
+	if c.Mem.pre != nil {
+		return c.runPredecoded(^uint64(0), maxCycles)
+	}
 	start := c.Cycles
 	for c.Cycles-start < maxCycles {
 		ev, exc := c.Step()

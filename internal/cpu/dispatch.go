@@ -1,0 +1,357 @@
+package cpu
+
+// Threaded-code dispatch: the interpreter's hot path decodes each
+// program word once into a dense micro-op array (resolved handler id,
+// pre-extracted operand fields, pre-resolved cycle cost) and then
+// dispatches by index with zero per-step decode. The interpretive
+// Step() remains the reference engine; RunCycles/Run switch to the
+// predecoded loop when the memory carries a predecode cache.
+//
+// Soundness under fault injection (the predecode-invalidation
+// invariant): every micro-op stores the exact instruction word it was
+// decoded from, and the fetch path compares that tag against the live
+// RAM word before dispatching. Any mutation of instruction memory —
+// Store, Poke, FlipBit with ECC off, or a checkpoint Restore — changes
+// the RAM word, so the stale entry fails the tag compare and is
+// redecoded in place. No mutation path needs an explicit invalidation
+// hook, and a missed one is impossible by construction. ECC-latent
+// flips (pendingFlips) never change the stored word; they are resolved
+// on fetch by the same rules as Memory.Load, before the tag compare,
+// so corrected reads and uncorrectable traps are bit-identical to the
+// interpretive path. The cache is derived state: it never feeds
+// digests or snapshots.
+
+import "math/bits"
+
+// Dense handler ids, pre-resolved at predecode time so the dispatch
+// switch is contiguous (a jump table) instead of a sparse-opcode scan.
+// hIllegal is the zero value: a zero microOp claims word 0, whose
+// opcode 0x00 is unassigned, so an untouched entry is self-consistent.
+const (
+	hIllegal uint8 = iota
+	hNop
+	hHalt
+	hMovi
+	hMovhi
+	hMov
+	hAdd
+	hSub
+	hMul
+	hDiv
+	hMod
+	hAnd
+	hOr
+	hXor
+	hShl
+	hShr
+	hSra
+	hAddi
+	hLd
+	hSt
+	hCmp
+	hCmpi
+	hBeq
+	hBne
+	hBlt
+	hBge
+	hBle
+	hBgt
+	hJmp
+	hJal
+	hJr
+	hPush
+	hPop
+	hSig
+	hSys
+)
+
+// opHandler maps each opcode to its dense handler id (hIllegal for the
+// unassigned ones — the illegal-opcode EDM).
+var opHandler = [256]uint8{
+	OpNop:   hNop,
+	OpHalt:  hHalt,
+	OpMovi:  hMovi,
+	OpMovhi: hMovhi,
+	OpMov:   hMov,
+	OpAdd:   hAdd,
+	OpSub:   hSub,
+	OpMul:   hMul,
+	OpDiv:   hDiv,
+	OpMod:   hMod,
+	OpAnd:   hAnd,
+	OpOr:    hOr,
+	OpXor:   hXor,
+	OpShl:   hShl,
+	OpShr:   hShr,
+	OpSra:   hSra,
+	OpAddi:  hAddi,
+	OpLd:    hLd,
+	OpSt:    hSt,
+	OpCmp:   hCmp,
+	OpCmpi:  hCmpi,
+	OpBeq:   hBeq,
+	OpBne:   hBne,
+	OpBlt:   hBlt,
+	OpBge:   hBge,
+	OpBle:   hBle,
+	OpBgt:   hBgt,
+	OpJmp:   hJmp,
+	OpJal:   hJal,
+	OpJr:    hJr,
+	OpPush:  hPush,
+	OpPop:   hPop,
+	OpSig:   hSig,
+	OpSys:   hSys,
+}
+
+// microOp is one predecoded instruction: the encoded word it was
+// decoded from (the validation tag), the sign-extended immediate, the
+// dense handler id, the register fields, and the cycle cost.
+type microOp struct {
+	word   uint32
+	imm    int32
+	h      uint8
+	rd     uint8
+	ra     uint8
+	rb     uint8
+	cycles uint8
+}
+
+// predecodeEntry decodes one instruction word into e. Unassigned
+// opcodes leave h == hIllegal with the tag set, so the entry stays
+// valid (and keeps trapping) until the word changes again.
+//
+//nlft:noalloc
+func predecodeEntry(e *microOp, w uint32) {
+	op := Opcode(w >> 24)
+	h := opHandler[op]
+	if h == hIllegal {
+		*e = microOp{word: w}
+		return
+	}
+	e.word = w
+	e.imm = int32(int16(uint16(w)))
+	e.h = h
+	e.rd = uint8(w>>20) & 0xF
+	e.ra = uint8(w>>16) & 0xF
+	e.rb = uint8(w>>12) & 0xF
+	e.cycles = uint8(opTable[op].cycles)
+}
+
+// EnablePredecode attaches a predecode cache covering the first
+// sizeWords words of RAM (clamped to the RAM size) — the loaded program
+// image range. Entries validate lazily: the zero entry claims word 0
+// (unassigned opcode), so the first fetch of any nonzero word fails the
+// tag compare and decodes it. PCs outside the covered range execute on
+// the interpretive path, instruction by instruction.
+func (m *Memory) EnablePredecode(sizeWords uint32) {
+	if sizeWords > uint32(len(m.words)) {
+		sizeWords = uint32(len(m.words))
+	}
+	if sizeWords == 0 {
+		m.pre = nil
+		return
+	}
+	m.pre = make([]microOp, sizeWords)
+}
+
+// PredecodeEnabled reports whether a predecode cache is attached.
+func (m *Memory) PredecodeEnabled() bool { return m.pre != nil }
+
+// execWindow returns the containing exec-permitted region's [start,
+// end) for a PC that has already passed Check; with the MMU disabled
+// the whole address space is executable. The dispatch loop caches the
+// window so straight-line and loop execution skip the region scan —
+// sound because regions are fixed for the duration of a run slice (the
+// kernel installs them before dispatch) and a cached window only ever
+// skips checks that would pass, so Violations counts are unchanged.
+//
+//nlft:noalloc
+func (u *MMU) execWindow(addr uint32) (uint32, uint32) {
+	if !u.enabled {
+		return 0, ^uint32(0)
+	}
+	for _, r := range u.regions {
+		if r.Contains(addr, PermExec) {
+			return r.Start, r.End
+		}
+	}
+	return addr, addr // unreachable after a passing Check; degrades to per-step checks
+}
+
+// runPredecoded is the threaded-code dispatch loop: RunCycles/Run with
+// zero per-step decode. It stops on an event with Sys != 0, an
+// exception, maxInstr retired attempts, or at least maxCycles cycles,
+// and returns the cycles actually consumed. Semantics are bit-identical
+// to looping over Step (guarded by the differential fuzz and lockstep
+// tests): identical cycle charging, retire counts, flag updates, ECC
+// resolution, and exception PCs.
+//
+//nlft:noalloc
+func (c *CPU) runPredecoded(maxInstr, maxCycles uint64) (Event, *Exception, uint64) {
+	m := c.Mem
+	start := c.Cycles
+	// Cached exec window: empty at entry, so the first instruction (and
+	// every jump outside the window) pays one MMU region scan.
+	var exLo, exHi uint32
+	var n uint64
+	for n < maxInstr && c.Cycles-start < maxCycles {
+		pc := c.PC
+		idx := pc >> 2
+		if pc&3 != 0 || pc >= IOBase || idx >= uint32(len(m.pre)) {
+			// Outside predecode coverage (misaligned, I/O window, or past
+			// the predecoded image): interpret one instruction.
+			ev, exc := c.Step()
+			n++
+			if exc != nil {
+				return ev, exc, c.Cycles - start
+			}
+			if ev.Sys != 0 {
+				return ev, nil, c.Cycles - start
+			}
+			continue
+		}
+		if pc < exLo || pc >= exHi {
+			if exc := c.MMU.Check(pc, PermExec); exc != nil {
+				c.Cycles++
+				exc.PC = pc
+				return Event{}, exc, c.Cycles - start
+			}
+			exLo, exHi = c.MMU.execWindow(pc)
+		}
+		if len(m.pendingFlips) != 0 {
+			if exc := m.resolveFlip(pc); exc != nil {
+				c.Cycles++
+				exc.PC = pc
+				return Event{}, exc, c.Cycles - start
+			}
+		}
+		e := &m.pre[idx]
+		if w := m.words[idx]; e.word != w {
+			predecodeEntry(e, w)
+		}
+		n++
+		if e.h == hIllegal {
+			c.Cycles++
+			//nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
+			return Event{}, &Exception{Kind: ExcIllegalOpcode, Addr: pc, PC: pc}, c.Cycles - start
+		}
+		c.Cycles += uint64(e.cycles)
+		c.Retired++
+		next := pc + 4
+
+		switch e.h {
+		case hNop:
+		case hHalt:
+			//nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
+			return Event{}, &Exception{Kind: ExcHalt, Addr: pc, PC: pc}, c.Cycles - start
+		case hMovi:
+			c.Regs[e.rd] = uint32(e.imm)
+		case hMovhi:
+			c.Regs[e.rd] = (c.Regs[e.rd] & 0xFFFF) | uint32(uint16(e.imm))<<16
+		case hMov:
+			c.Regs[e.rd] = c.Regs[e.ra]
+		case hAdd:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] + c.Regs[e.rb])
+		case hSub:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] - c.Regs[e.rb])
+		case hMul:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] * c.Regs[e.rb])
+		case hDiv:
+			if c.Regs[e.rb] == 0 {
+				//nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
+				return Event{}, &Exception{Kind: ExcDivZero, Addr: pc, PC: pc}, c.Cycles - start
+			}
+			c.Regs[e.rd] = c.applyALUFault(uint32(int32(c.Regs[e.ra]) / int32(c.Regs[e.rb])))
+		case hMod:
+			if c.Regs[e.rb] == 0 {
+				//nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
+				return Event{}, &Exception{Kind: ExcDivZero, Addr: pc, PC: pc}, c.Cycles - start
+			}
+			c.Regs[e.rd] = c.applyALUFault(uint32(int32(c.Regs[e.ra]) % int32(c.Regs[e.rb])))
+		case hAnd:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] & c.Regs[e.rb])
+		case hOr:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] | c.Regs[e.rb])
+		case hXor:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] ^ c.Regs[e.rb])
+		case hShl:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] << (c.Regs[e.rb] & 31))
+		case hShr:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] >> (c.Regs[e.rb] & 31))
+		case hSra:
+			c.Regs[e.rd] = c.applyALUFault(uint32(int32(c.Regs[e.ra]) >> (c.Regs[e.rb] & 31)))
+		case hAddi:
+			c.Regs[e.rd] = c.applyALUFault(c.Regs[e.ra] + uint32(e.imm))
+		case hLd:
+			v, exc := c.load(c.Regs[e.ra] + uint32(e.imm))
+			if exc != nil {
+				exc.PC = pc
+				return Event{}, exc, c.Cycles - start
+			}
+			c.Regs[e.rd] = v
+		case hSt:
+			if exc := c.store(c.Regs[e.ra]+uint32(e.imm), c.Regs[e.rd]); exc != nil {
+				exc.PC = pc
+				return Event{}, exc, c.Cycles - start
+			}
+		case hCmp:
+			c.setFlags(c.Regs[e.ra], c.Regs[e.rb])
+		case hCmpi:
+			c.setFlags(c.Regs[e.ra], uint32(e.imm))
+		case hBeq:
+			if c.Flags.Z {
+				next = pc + uint32(int32(4)*e.imm)
+			}
+		case hBne:
+			if !c.Flags.Z {
+				next = pc + uint32(int32(4)*e.imm)
+			}
+		case hBlt:
+			if c.signedLess() {
+				next = pc + uint32(int32(4)*e.imm)
+			}
+		case hBge:
+			if !c.signedLess() {
+				next = pc + uint32(int32(4)*e.imm)
+			}
+		case hBle:
+			if c.Flags.Z || c.signedLess() {
+				next = pc + uint32(int32(4)*e.imm)
+			}
+		case hBgt:
+			if !c.Flags.Z && !c.signedLess() {
+				next = pc + uint32(int32(4)*e.imm)
+			}
+		case hJmp:
+			next = pc + uint32(int32(4)*e.imm)
+		case hJal:
+			c.Regs[RegLR] = next
+			next = pc + uint32(int32(4)*e.imm)
+		case hJr:
+			next = c.Regs[e.ra]
+		case hPush:
+			sp := c.Regs[RegSP] - 4
+			if exc := c.store(sp, c.Regs[e.rd]); exc != nil {
+				exc.PC = pc
+				return Event{}, exc, c.Cycles - start
+			}
+			c.Regs[RegSP] = sp
+		case hPop:
+			v, exc := c.load(c.Regs[RegSP])
+			if exc != nil {
+				exc.PC = pc
+				return Event{}, exc, c.Cycles - start
+			}
+			c.Regs[e.rd] = v
+			c.Regs[RegSP] += 4
+		case hSig:
+			c.Signature = bits.RotateLeft32(c.Signature, 5) ^ uint32(e.imm)
+		case hSys:
+			c.PC = next
+			return Event{Sys: e.imm}, nil, c.Cycles - start
+		}
+		c.PC = next
+	}
+	return Event{}, nil, c.Cycles - start
+}

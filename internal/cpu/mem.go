@@ -29,6 +29,22 @@ type Memory struct {
 	CorrectedErrors uint64
 	// io handles loads/stores in the I/O window, when attached.
 	io IOBus
+	// pre is the predecoded micro-op cache (nil unless EnablePredecode;
+	// see dispatch.go). Derived state: entries validate against the live
+	// word on every fetch and never feed digests or snapshots.
+	pre []microOp
+	// dirty is the page-granular write bitmap (one bit per pageWords
+	// words) driving delta snapshots: every word mutation sets its
+	// page's bit, and Snapshot/Restore copy only flagged pages before
+	// clearing the map (see snapshot.go for the invariant).
+	dirty []uint64
+	// shadow tracks, per page, the checkpoint buffer known to equal RAM
+	// content as of the last Snapshot/Restore unless the page has been
+	// dirtied since.
+	shadow []*memPage
+	// Snap counts snapshot/restore page traffic (measurements only;
+	// excluded from digests like the other counters).
+	Snap SnapStats
 }
 
 // IOBase is the first address of the memory-mapped I/O window.
@@ -48,11 +64,30 @@ func NewMemory(sizeWords int, ecc bool) *Memory {
 	if sizeWords <= 0 {
 		panic(fmt.Sprintf("cpu: memory size %d", sizeWords))
 	}
+	nPages := (sizeWords + pageWords - 1) / pageWords
 	return &Memory{
 		words:        make([]uint32, sizeWords),
 		ecc:          ecc,
 		pendingFlips: make(map[uint32]uint32),
+		dirty:        make([]uint64, (nPages+63)/64),
+		shadow:       make([]*memPage, nPages),
 	}
+}
+
+// markDirty flags the page containing word index idx as modified since
+// the last snapshot/restore synchronization point.
+//
+//nlft:noalloc
+func (m *Memory) markDirty(idx uint32) {
+	p := idx >> pageShift
+	m.dirty[p>>6] |= 1 << (p & 63)
+}
+
+// pageDirty reports whether page p carries the modified flag.
+//
+//nlft:noalloc
+func (m *Memory) pageDirty(p int) bool {
+	return m.dirty[p>>6]&(1<<(uint(p)&63)) != 0
 }
 
 // AttachIO connects the memory-mapped I/O bus.
@@ -96,24 +131,43 @@ func (m *Memory) Load(addr uint32) (uint32, *Exception) {
 	if !m.inRAM(addr) {
 		return 0, &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
-	idx := addr / 4
-	if m.ecc {
-		if mask, dirty := m.pendingFlips[idx]; dirty {
-			switch popcount(mask) {
-			case 0:
-				delete(m.pendingFlips, idx)
-			case 1:
-				// Single-bit error: corrected, data intact.
-				m.CorrectedErrors++
-				delete(m.pendingFlips, idx)
-			default:
-				// Multi-bit: uncorrectable, detected by SEC-DED.
-				delete(m.pendingFlips, idx)
-				return 0, &Exception{Kind: ExcECCError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
-			}
+	if len(m.pendingFlips) != 0 {
+		if exc := m.resolveFlip(addr); exc != nil {
+			return 0, exc
 		}
 	}
-	return m.words[idx], nil
+	return m.words[addr/4], nil
+}
+
+// resolveFlip resolves any pending ECC flip on the word holding addr,
+// exactly as a load does: a zero mask is dropped, a single-bit error is
+// corrected transparently (counted), and a multi-bit error traps. The
+// predecoded fetch path shares this helper so latent flips on
+// instruction words fire identically on both engines.
+//
+//nlft:noalloc
+func (m *Memory) resolveFlip(addr uint32) *Exception {
+	if !m.ecc {
+		return nil
+	}
+	idx := addr / 4
+	mask, dirty := m.pendingFlips[idx]
+	if !dirty {
+		return nil
+	}
+	switch popcount(mask) {
+	case 0:
+		delete(m.pendingFlips, idx)
+	case 1:
+		// Single-bit error: corrected, data intact.
+		m.CorrectedErrors++
+		delete(m.pendingFlips, idx)
+	default:
+		// Multi-bit: uncorrectable, detected by SEC-DED.
+		delete(m.pendingFlips, idx)
+		return &Exception{Kind: ExcECCError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
+	}
+	return nil
 }
 
 // Store writes the word at a byte address, with the same fault semantics
@@ -138,11 +192,12 @@ func (m *Memory) Store(addr, value uint32) *Exception {
 		return &Exception{Kind: ExcBusError, Addr: addr} //nlft:allow noalloc exception built on the trap path; a fault-free warm run never traps
 	}
 	idx := addr / 4
-	if m.ecc {
+	if m.ecc && len(m.pendingFlips) != 0 {
 		delete(m.pendingFlips, idx)
 	}
 	m.wordSum += wordSig(idx, value) - wordSig(idx, m.words[idx])
 	m.words[idx] = value
+	m.markDirty(idx)
 	return nil
 }
 
@@ -155,11 +210,12 @@ func (m *Memory) Poke(addr, value uint32) {
 		panic(fmt.Sprintf("cpu: poke at %#x", addr))
 	}
 	idx := addr / 4
-	if m.ecc {
+	if m.ecc && len(m.pendingFlips) != 0 {
 		delete(m.pendingFlips, idx)
 	}
 	m.wordSum += wordSig(idx, value) - wordSig(idx, m.words[idx])
 	m.words[idx] = value
+	m.markDirty(idx)
 }
 
 // Peek reads a word without fault semantics (ignores pending ECC state).
@@ -186,9 +242,14 @@ func (m *Memory) FlipBit(addr uint32, bit uint) {
 		m.pendingFlips[idx] ^= 1 << bit
 		return
 	}
+	// Without ECC the stored word itself is corrupted: a data mutation
+	// like any other, so the page is dirtied for delta snapshots (a
+	// flip on an otherwise-clean page must land in the next checkpoint)
+	// and the predecode tag compare redecodes a flipped instruction.
 	flipped := m.words[idx] ^ 1<<bit
 	m.wordSum += wordSig(idx, flipped) - wordSig(idx, m.words[idx])
 	m.words[idx] = flipped
+	m.markDirty(idx)
 }
 
 func popcount(v uint32) int {

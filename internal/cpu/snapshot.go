@@ -56,9 +56,40 @@ type flipEntry struct {
 	mask uint32
 }
 
+// Delta-snapshot page geometry: 64 words (256 bytes) per page.
+const (
+	pageShift = 6
+	pageWords = 1 << pageShift
+	// PageBytes is the delta-snapshot page size in bytes (exported for
+	// checkpoint-traffic reporting).
+	PageBytes = pageWords * 4
+)
+
+// memPage is one immutable checkpoint page buffer. Buffers are shared
+// structurally between checkpoints: a page not dirtied between two
+// captures appears in both checkpoints as the same pointer, and only
+// Snapshot ever writes one — into a buffer it has just allocated.
+type memPage struct {
+	words [pageWords]uint32
+}
+
+// SnapStats counts snapshot/restore page traffic (see Memory.Snap).
+type SnapStats struct {
+	// Snapshots and Restores count calls.
+	Snapshots uint64
+	Restores  uint64
+	// PagesCopied counts pages copied into fresh checkpoint buffers at
+	// capture (the delta actually stored); PagesRestored counts pages
+	// copied back into RAM at restore.
+	PagesCopied   uint64
+	PagesRestored uint64
+}
+
 // MemoryState is preallocated scratch for Memory.Snapshot/Restore.
+// RAM content is held as per-page buffer pointers with structural
+// sharing across checkpoints of the same Memory (see Snapshot).
 type MemoryState struct {
-	words           []uint32
+	pages           []*memPage
 	wordSum         uint64
 	flips           []flipEntry
 	correctedErrors uint64
@@ -68,9 +99,32 @@ type MemoryState struct {
 // corrected-error counter into st. The ECC setting and the attached I/O
 // bus are configuration, not state, and are not captured.
 //
+// RAM capture is a delta: only pages dirtied since the previous
+// Snapshot/Restore synchronization point are copied into fresh
+// immutable buffers; clean pages share the buffer already installed in
+// m.shadow. The invariant maintained with Restore is that
+// (m.shadow[p] != nil && page p not dirty) implies RAM page p equals
+// m.shadow[p]'s contents — every word write sets the dirty bit, so a
+// shared buffer can never go stale.
+//
 //nlft:noalloc
 func (m *Memory) Snapshot(into *MemoryState) {
-	into.words = append(into.words[:0], m.words...)
+	if len(into.pages) != len(m.shadow) {
+		//nlft:allow noalloc cold first-capture sizing; the slice is retained for the state's lifetime
+		into.pages = make([]*memPage, len(m.shadow))
+	}
+	m.Snap.Snapshots++
+	for p := range m.shadow {
+		if m.shadow[p] == nil || m.pageDirty(p) {
+			//nlft:allow noalloc cold capture path: a fresh immutable buffer per dirtied page, retained by the checkpoint store
+			pg := &memPage{}
+			copy(pg.words[:], m.words[p<<pageShift:])
+			m.shadow[p] = pg
+			m.Snap.PagesCopied++
+		}
+		into.pages[p] = m.shadow[p]
+	}
+	clear(m.dirty)
 	into.wordSum = m.wordSum
 	into.flips = into.flips[:0]
 	//nlft:allow nodeterminism capture order is irrelevant: the entries refill a map on restore and fold commutatively in digests
@@ -84,9 +138,25 @@ func (m *Memory) Snapshot(into *MemoryState) {
 // Snapshot. The flip map's buckets are retained across clear+refill, so
 // a warm restore does not allocate.
 //
+// RAM restore is the delta mirror of Snapshot: page p is copied back
+// only when it was dirtied since the last synchronization point or when
+// the checkpoint holds a different buffer than m.shadow[p] — otherwise
+// RAM provably already equals the target contents. wordSum is restored
+// from the checkpoint directly (it was exact at capture), so no page
+// scan or recompute is needed.
+//
 //nlft:noalloc
 func (m *Memory) Restore(from *MemoryState) {
-	m.words = append(m.words[:0], from.words...)
+	m.Snap.Restores++
+	for p, pg := range from.pages {
+		if m.shadow[p] == pg && !m.pageDirty(p) {
+			continue // RAM already holds this page's contents
+		}
+		copy(m.words[p<<pageShift:], pg.words[:])
+		m.shadow[p] = pg
+		m.Snap.PagesRestored++
+	}
+	clear(m.dirty)
 	m.wordSum = from.wordSum
 	clear(m.pendingFlips)
 	for _, f := range from.flips {

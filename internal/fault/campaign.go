@@ -72,10 +72,13 @@ type CampaignConfig struct {
 	// soundness argument; guarded by TestCampaignForkEquivalence and the
 	// digest pins).
 	NoFork bool
-	// SnapshotInterval is the fork checkpoint spacing. Default (0): the
-	// workload's own SnapshotHinter value (the standard workload hints
-	// its period, so boundaries coincide with release instants), or
-	// Horizon/8 without a hint.
+	// SnapshotInterval is the fork checkpoint spacing. Default (0):
+	// 250µs, or the workload's own SnapshotHinter value when that hint
+	// is finer. Delta snapshots make dense checkpoints cheap — each
+	// capture copies only the pages dirtied since the last one — so a
+	// fine default spacing shortens every trial's replayed suffix. The
+	// spacing is widened if needed so a horizon fits in the checkpoint
+	// store (see maxCheckpoints in fork.go).
 	SnapshotInterval des.Time
 	// NoConvergeCutoff disables the fork engine's convergence cutoff.
 	// When active (the default — but only for campaigns without
@@ -146,10 +149,59 @@ type Result struct {
 	// unless Config.TelemetryEvents).
 	GoldenEvents []obs.Event
 
+	// Snapshots reports the fork engine's checkpoint-store traffic (nil
+	// on the legacy no-fork path).
+	Snapshots *SnapshotStats
+
 	// Estimates of the paper's parameters (§3.2.2), conditioned as the
 	// paper defines them: CD over activated faults; PT/POM/PFS over
 	// detected errors.
 	CD, PT, POM, PFS stats.Proportion
+}
+
+// SnapshotStats summarizes the fork engine's checkpoint-store traffic
+// across all workers: how many checkpoints each store holds, how many
+// capture/restore calls ran, and how many delta pages moved. The
+// full-vs-delta byte comparison quantifies what dirty-page tracking
+// saves over full-image snapshots.
+type SnapshotStats struct {
+	// Workers is the worker (and thus checkpoint-store) count.
+	Workers int
+	// Checkpoints is the per-worker checkpoint count (identical across
+	// workers: capture is deterministic).
+	Checkpoints int
+	// PageBytes is the delta page size; RAMBytes one full RAM image.
+	PageBytes uint64
+	RAMBytes  uint64
+	// Snapshots and Restores count calls summed over workers.
+	Snapshots uint64
+	Restores  uint64
+	// PagesCopied counts pages captured into checkpoint buffers;
+	// PagesRestored counts pages copied back into RAM.
+	PagesCopied   uint64
+	PagesRestored uint64
+}
+
+// FullBytes is what the captures would have copied as full images.
+func (s *SnapshotStats) FullBytes() uint64 { return s.Snapshots * s.RAMBytes }
+
+// DeltaBytes is what the captures actually copied.
+func (s *SnapshotStats) DeltaBytes() uint64 { return s.PagesCopied * s.PageBytes }
+
+// MeanPagesPerSnapshot is the mean dirty-page count per capture.
+func (s *SnapshotStats) MeanPagesPerSnapshot() float64 {
+	if s.Snapshots == 0 {
+		return 0
+	}
+	return float64(s.PagesCopied) / float64(s.Snapshots)
+}
+
+// MeanPagesPerRestore is the mean page count copied back per restore.
+func (s *SnapshotStats) MeanPagesPerRestore() float64 {
+	if s.Restores == 0 {
+		return 0
+	}
+	return float64(s.PagesRestored) / float64(s.Restores)
 }
 
 // Activated is the number of faults that produced an error.
@@ -363,8 +415,10 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 		workerRegs = make([]*obs.Registry, workers)
 	}
 	var plans []trialPlan
+	var workerSnaps []SnapshotStats
 	if !cfg.NoFork {
 		plans = planTrials(w, &cfg)
+		workerSnaps = make([]SnapshotStats, workers)
 	}
 	var progressMu sync.Mutex
 	progressDone := 0
@@ -390,7 +444,7 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 				}
 				if !cfg.NoFork {
 					errs[wk] = runForkTrials(w, &cfg, wk, workers, golden, res, t,
-						plans, trialEvents, workerRegs, progress)
+						plans, trialEvents, workerRegs, workerSnaps, progress)
 					return
 				}
 				var scratch trialScratch
@@ -426,6 +480,21 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if workerSnaps != nil {
+		agg := &SnapshotStats{Workers: workers}
+		for _, s := range workerSnaps {
+			// Checkpoint count, page size, and RAM size are identical
+			// across workers; the traffic counters sum.
+			agg.Checkpoints = s.Checkpoints
+			agg.PageBytes = s.PageBytes
+			agg.RAMBytes = s.RAMBytes
+			agg.Snapshots += s.Snapshots
+			agg.Restores += s.Restores
+			agg.PagesCopied += s.PagesCopied
+			agg.PagesRestored += s.PagesRestored
+		}
+		res.Snapshots = agg
 	}
 	pprof.Do(context.Background(), pprof.Labels("campaign-phase", "merge"), func(context.Context) {
 		for _, t := range tallies {

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestDispatchLockstepDifferential runs two identical workload instances
+// in lockstep — one on the predecoded dispatch engine, one on the
+// per-step interpretive decoder — and compares the kernel's forward
+// digest at every 250µs boundary. Code-range bit flips are injected at
+// identical instants into both machines, so the comparison covers
+// exactly the hazard predecoding introduces: an instruction word mutated
+// after it was decoded must execute identically on both engines (the
+// predecoder's tag compare redecodes it). The ECC variant layers latent
+// flips and multi-bit trap arming on top.
+func TestDispatchLockstepDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  StdWorkloadConfig
+	}{
+		{"ecc-off", StdWorkloadConfig{}},
+		{"ecc-on", StdWorkloadConfig{ECC: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pre := NewStdWorkload(tc.cfg)
+			icfg := tc.cfg
+			icfg.InterpretiveDispatch = true
+			itp := NewStdWorkload(icfg)
+
+			a, err := pre.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := itp.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Kernel.Mem().PredecodeEnabled() {
+				t.Fatal("default instance is not predecoded")
+			}
+			if b.Kernel.Mem().PredecodeEnabled() {
+				t.Fatal("interpretive instance has predecode enabled")
+			}
+
+			_, words := pre.CodeRange()
+			horizon := pre.Horizon()
+			const boundary = 250 * des.Microsecond
+			step := 0
+			for now := des.Time(0); now < horizon; {
+				now += boundary
+				if now > horizon {
+					now = horizon
+				}
+				if err := a.Sim.RunUntil(now); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Sim.RunUntil(now); err != nil {
+					t.Fatal(err)
+				}
+				da := a.Kernel.ForwardDigest(des.Event{})
+				db := b.Kernel.ForwardDigest(des.Event{})
+				if da != db {
+					t.Fatalf("digest diverged at %v (step %d): predecoded %#x, interpretive %#x",
+						now, step, da, db)
+				}
+				// Inject one code flip per boundary, walking the image and
+				// the bit positions so opcode, register, and immediate
+				// fields all get hit across the run.
+				w := uint32(step*7) % words
+				bit := uint(step*5) % 32
+				addr := stdCode + w*4
+				a.Kernel.Mem().FlipBit(addr, bit)
+				b.Kernel.Mem().FlipBit(addr, bit)
+				if tc.cfg.ECC && step%3 == 0 {
+					// A second flip in the same word arms a multi-bit ECC
+					// trap for the next fetch of that instruction.
+					a.Kernel.Mem().FlipBit(addr, (bit+11)%32)
+					b.Kernel.Mem().FlipBit(addr, (bit+11)%32)
+				}
+				step++
+			}
+
+			if !reflect.DeepEqual(a.Rec.Writes, b.Rec.Writes) {
+				t.Errorf("committed writes diverged:\npredecoded:   %v\ninterpretive: %v",
+					a.Rec.Writes, b.Rec.Writes)
+			}
+			fa, ra := a.Kernel.Failed()
+			fb, rb := b.Kernel.Failed()
+			if fa != fb || ra != rb {
+				t.Errorf("failure state diverged: predecoded (%v, %q), interpretive (%v, %q)",
+					fa, ra, fb, rb)
+			}
+		})
+	}
+}
+
+// TestCampaignDispatchEquivalence runs the same fault campaign on both
+// dispatch engines and requires bit-identical classification: every
+// trial record, the outcome tallies, and the estimated proportions. The
+// campaign's memory-code faults flip instruction words mid-trial, so
+// this covers injected-opcode execution through the fork engine's
+// restore path as well.
+func TestCampaignDispatchEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  StdWorkloadConfig
+	}{
+		{"ecc-off", StdWorkloadConfig{}},
+		{"ecc-on", StdWorkloadConfig{ECC: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ccfg := CampaignConfig{Trials: 160, Seed: 77, Parallelism: 2}
+			pre, err := Run(NewStdWorkload(tc.cfg), ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			icfg := tc.cfg
+			icfg.InterpretiveDispatch = true
+			itp, err := Run(NewStdWorkload(icfg), ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pre.Trials {
+				if !reflect.DeepEqual(pre.Trials[i], itp.Trials[i]) {
+					t.Fatalf("trial %d diverged:\npredecoded:   %+v\ninterpretive: %+v",
+						i, pre.Trials[i], itp.Trials[i])
+				}
+			}
+			if !reflect.DeepEqual(pre.Counts, itp.Counts) {
+				t.Errorf("tallies diverged: predecoded %v, interpretive %v", pre.Counts, itp.Counts)
+			}
+			if pre.CD != itp.CD || pre.PT != itp.PT || pre.POM != itp.POM || pre.PFS != itp.PFS {
+				t.Errorf("estimates diverged")
+			}
+			// The engines write the same words, so the dirty-page traffic
+			// of the checkpoint store must match exactly too.
+			if !reflect.DeepEqual(pre.Snapshots, itp.Snapshots) {
+				t.Errorf("snapshot stats diverged: predecoded %+v, interpretive %+v",
+					pre.Snapshots, itp.Snapshots)
+			}
+		})
+	}
+}

@@ -54,15 +54,19 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cpu"
 	"repro/internal/des"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 )
 
 // SnapshotHinter is implemented by workloads that know a natural
-// checkpoint spacing — typically their hyperperiod, so checkpoint
-// boundaries coincide with release instants. Workloads without the hint
-// get Horizon/8.
+// checkpoint spacing — typically their period, so checkpoint boundaries
+// coincide with release instants. Since delta snapshots made captures
+// near-free, the hint only matters when it is finer than the 250 µs
+// default (boundary alignment is then preserved); a coarser hint no
+// longer wins, because dense checkpoints are what make fork restores
+// and convergence cutoffs cheap.
 type SnapshotHinter interface {
 	// SnapshotInterval returns the preferred checkpoint spacing.
 	SnapshotInterval() des.Time
@@ -70,20 +74,33 @@ type SnapshotHinter interface {
 
 // maxCheckpoints bounds the per-worker checkpoint count so a
 // pathologically small SnapshotInterval cannot exhaust memory; the
-// interval is clamped up to horizon/maxCheckpoints.
-const maxCheckpoints = 256
+// interval is clamped up to horizon/maxCheckpoints. With delta
+// snapshots a checkpoint costs only its dirtied pages, so the clamp is
+// loose — it exists to stop degenerate configurations, not to ration
+// full-image copies as the pre-delta engine had to.
+const maxCheckpoints = 4096
 
-// resolveForkInterval picks the checkpoint spacing for a campaign.
+// defaultForkInterval is the checkpoint spacing used when neither the
+// campaign config nor a finer workload hint supplies one. 250 µs is the
+// dense regime the fork benchmarks identified as the throughput
+// optimum for the standard workload; delta snapshots make its capture
+// cost negligible.
+const defaultForkInterval = 250 * des.Microsecond
+
+// resolveForkInterval picks the checkpoint spacing for a campaign:
+// explicit config wins; otherwise the 250 µs default, tightened to the
+// workload's hint when that is finer; pathologically small results are
+// clamped so the store stays bounded.
 func resolveForkInterval(w Workload, cfg *CampaignConfig) des.Time {
 	horizon := w.Horizon()
 	interval := cfg.SnapshotInterval
 	if interval <= 0 {
+		interval = defaultForkInterval
 		if h, ok := w.(SnapshotHinter); ok {
-			interval = h.SnapshotInterval()
+			if hint := h.SnapshotInterval(); hint > 0 && hint < interval {
+				interval = hint
+			}
 		}
-	}
-	if interval <= 0 {
-		interval = horizon / 8
 	}
 	if min := horizon / maxCheckpoints; interval < min {
 		interval = min
@@ -260,7 +277,7 @@ type forkWorker struct {
 // is the sequential order regardless of workers or bucketing.
 func runForkTrials(w Workload, cfg *CampaignConfig, wk, workers int, golden []Write,
 	res *Result, t *tally, plans []trialPlan, trialEvents [][]obs.Event,
-	workerRegs []*obs.Registry, progress func()) error {
+	workerRegs []*obs.Registry, snaps []SnapshotStats, progress func()) error {
 	var col *obs.Collector
 	switch {
 	case cfg.TelemetryEvents:
@@ -304,6 +321,17 @@ func runForkTrials(w Workload, cfg *CampaignConfig, wk, workers int, golden []Wr
 		res.Trials[trial] = rec
 		t.record(&rec)
 		progress()
+	}
+	ms := fw.inst.Kernel.Mem()
+	snaps[wk] = SnapshotStats{
+		Workers:       1,
+		Checkpoints:   len(fw.cs.states),
+		PageBytes:     cpu.PageBytes,
+		RAMBytes:      uint64(ms.SizeBytes()),
+		Snapshots:     ms.Snap.Snapshots,
+		Restores:      ms.Snap.Restores,
+		PagesCopied:   ms.Snap.PagesCopied,
+		PagesRestored: ms.Snap.PagesRestored,
 	}
 	return nil
 }

@@ -305,12 +305,19 @@ func TestInstanceSnapshotRoundTrip(t *testing.T) {
 }
 
 // TestResolveForkInterval pins the spacing policy: explicit config wins,
-// then the workload's hint, then horizon/8; pathologically small
-// intervals are clamped so the store stays bounded.
+// then the 250µs default tightened by a finer workload hint;
+// pathologically small intervals are clamped so the store stays bounded.
 func TestResolveForkInterval(t *testing.T) {
 	w := NewStdWorkload(StdWorkloadConfig{})
-	if got := resolveForkInterval(w, &CampaignConfig{}); got != des.Millisecond {
-		t.Errorf("hinted interval %v, want the 1ms period", got)
+	// The standard workload hints its 1ms period — coarser than the
+	// default, so the default wins.
+	if got := resolveForkInterval(w, &CampaignConfig{}); got != defaultForkInterval {
+		t.Errorf("hinted interval %v, want the %v default", got, defaultForkInterval)
+	}
+	// A hint finer than the default tightens it.
+	fine := NewStdWorkload(StdWorkloadConfig{Period: 100 * des.Microsecond})
+	if got := resolveForkInterval(fine, &CampaignConfig{}); got != 100*des.Microsecond {
+		t.Errorf("finely hinted interval %v, want the 100us period", got)
 	}
 	if got := resolveForkInterval(w, &CampaignConfig{SnapshotInterval: 2 * des.Millisecond}); got != 2*des.Millisecond {
 		t.Errorf("explicit interval %v, want 2ms", got)
@@ -320,8 +327,8 @@ func TestResolveForkInterval(t *testing.T) {
 		t.Errorf("interval %v below the %d-checkpoint clamp", got, maxCheckpoints)
 	}
 	nh := noHint{w}
-	if got := resolveForkInterval(nh, &CampaignConfig{}); got != nh.Horizon()/8 {
-		t.Errorf("unhinted interval %v, want horizon/8 = %v", got, nh.Horizon()/8)
+	if got := resolveForkInterval(nh, &CampaignConfig{}); got != defaultForkInterval {
+		t.Errorf("unhinted interval %v, want the %v default", got, defaultForkInterval)
 	}
 }
 

@@ -139,6 +139,12 @@ type StdWorkloadConfig struct {
 	NoContextRestore   bool
 	CompareOutputsOnly bool
 	FailSilentOnError  bool
+	// InterpretiveDispatch forwards to the kernel config: run the CPU on
+	// the per-step interpretive decoder instead of the predecoded
+	// dispatch engine. Results are bit-identical either way (guarded by
+	// the dispatch differential tests); used by those tests and for
+	// engine triage.
+	InterpretiveDispatch bool
 	// PermanentThreshold forwards to the kernel config. Default 5.
 	PermanentThreshold int
 	// Compute is the workload's inner-loop iteration count; it scales
@@ -197,15 +203,16 @@ func (w *stdWorkload) build(col *obs.Collector) (*Instance, error) {
 	sim := des.New()
 	rec := &Recorder{InputFn: func(port uint32) uint32 { return 0x1234 }}
 	k := kernel.New(sim, rec, kernel.Config{
-		ECC:                w.cfg.ECC,
-		UseMMU:             w.cfg.UseMMU,
-		PermanentThreshold: w.cfg.PermanentThreshold,
-		Trace:              w.cfg.Trace,
-		Obs:                col,
-		AlwaysTriple:       w.cfg.AlwaysTriple,
-		NoContextRestore:   w.cfg.NoContextRestore,
-		CompareOutputsOnly: w.cfg.CompareOutputsOnly,
-		FailSilentOnError:  w.cfg.FailSilentOnError,
+		ECC:                  w.cfg.ECC,
+		UseMMU:               w.cfg.UseMMU,
+		PermanentThreshold:   w.cfg.PermanentThreshold,
+		Trace:                w.cfg.Trace,
+		Obs:                  col,
+		AlwaysTriple:         w.cfg.AlwaysTriple,
+		NoContextRestore:     w.cfg.NoContextRestore,
+		CompareOutputsOnly:   w.cfg.CompareOutputsOnly,
+		FailSilentOnError:    w.cfg.FailSilentOnError,
+		InterpretiveDispatch: w.cfg.InterpretiveDispatch,
 	})
 	if col != nil {
 		obs.AttachSimulator(col, sim)

@@ -39,6 +39,11 @@ type Config struct {
 	// node (the paper's FS baseline, §3.2.1): every detected error
 	// immediately silences the node instead of triggering TEM recovery.
 	FailSilentOnError bool
+	// InterpretiveDispatch disables the threaded-code (predecoded)
+	// dispatch path and forces the reference interpreter. Behaviour is
+	// bit-identical either way (guarded by the lockstep-differential
+	// tests); this switch exists for those tests and for debugging.
+	InterpretiveDispatch bool
 
 	// Ablation switches (see DESIGN.md §5). All default off, which is
 	// the paper's design.
@@ -327,8 +332,19 @@ func (k *Kernel) Start() error {
 		return errors.New("kernel: no tasks")
 	}
 	k.started = true
+	var progEnd uint32
 	for _, t := range k.order {
 		t.spec.Program.LoadInto(k.mem)
+		if end := t.spec.Program.Origin + t.spec.Program.SizeBytes(); end > progEnd {
+			progEnd = end
+		}
+	}
+	if !k.cfg.InterpretiveDispatch {
+		// Predecode covers the loaded program images only: instances are
+		// built per trial in legacy campaigns, so the cache must stay
+		// proportional to code size, not RAM size. PCs outside coverage
+		// (faulted jumps into data or stack) execute interpretively.
+		k.mem.EnablePredecode(progEnd / 4)
 	}
 	for _, t := range k.order {
 		if t.spec.Sporadic {
