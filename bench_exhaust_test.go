@@ -1,0 +1,173 @@
+package nlft
+
+// Benchmarks for the exhaustive single-fault verifier. Running
+//
+//	BENCH_EXHAUST_JSON=BENCH_exhaust.json go test -run=NONE -bench=ExhaustVerify .
+//
+// writes the measured numbers to the named file; without the variable
+// the benchmarks only report metrics. The committed BENCH_exhaust.json
+// records what the visited-digest dedup buys over fork-only
+// exploration and over rebuilding every placement from scratch, on the
+// full default space (every target, 50µs grid, ~30k placements); all
+// modes produce bit-identical results (TestVerifyDifferential in
+// internal/exhaust).
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/exhaust"
+	"repro/internal/fault"
+)
+
+type exhaustBenchPoint struct {
+	// Mode is "dedup" (fork + convergence + visited-digest memo table),
+	// "no_dedup" (fork + convergence only), "no_fork" (every placement
+	// simulated from t=0), or "campaign" (planned sampling campaign over
+	// the identical fault list — the cross-check baseline).
+	Mode             string  `json:"mode"`
+	Placements       int     `json:"placements"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	PlacementsPerSec float64 `json:"placements_per_sec"`
+	// SpeedupVsNoFork pairs each point with the no_fork baseline when
+	// the file is written.
+	SpeedupVsNoFork float64 `json:"speedup_vs_no_fork,omitempty"`
+}
+
+// benchExhaustOut accumulates results so TestMain
+// (bench_parallel_test.go, the package's single TestMain) can emit
+// them as one JSON document.
+var benchExhaustOut struct {
+	mu     sync.Mutex
+	Points []exhaustBenchPoint
+}
+
+type benchExhaustDoc struct {
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Points     []exhaustBenchPoint `json:"exhaust_verify,omitempty"`
+}
+
+// exhaustBenchConfig is the benchmarked space: the gate
+// configuration's full default grid (every target, 50µs quantum,
+// ~30k placements) — the space `cmd/exhaustcheck` verifies in CI, and
+// the regime the visited-digest memo table is built for (on small
+// restricted spaces convergence alone already cuts every suffix and
+// the memo bookkeeping is pure overhead).
+func exhaustBenchConfig() exhaust.Config {
+	return exhaust.Config{
+		Quantum:     exhaust.DefaultQuantum,
+		Parallelism: 1,
+	}
+}
+
+// BenchmarkExhaustVerify contrasts the verifier's exploration tiers:
+// visited-digest dedup on top of fork+convergence, fork+convergence
+// alone, and the from-scratch baseline, plus the planned sampling
+// campaign the cross-check runs over the same fault list.
+func BenchmarkExhaustVerify(b *testing.B) {
+	w := fault.NewStdWorkload(fault.StdWorkloadConfig{ECC: true, Periods: 3, Compute: 16})
+	spaceCfg := exhaustBenchConfig()
+	space, err := exhaust.NewSpace(w, &spaceCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := space.Len()
+
+	record := func(mode string, ns float64) {
+		pt := exhaustBenchPoint{
+			Mode:             mode,
+			Placements:       placements,
+			NsPerOp:          ns,
+			PlacementsPerSec: float64(placements) / (ns / 1e9),
+		}
+		benchExhaustOut.mu.Lock()
+		replaced := false
+		for i := range benchExhaustOut.Points {
+			if benchExhaustOut.Points[i].Mode == mode {
+				benchExhaustOut.Points[i] = pt
+				replaced = true
+			}
+		}
+		if !replaced {
+			benchExhaustOut.Points = append(benchExhaustOut.Points, pt)
+		}
+		benchExhaustOut.mu.Unlock()
+	}
+
+	for _, tc := range []struct {
+		name, mode string
+		noDedup    bool
+		noFork     bool
+	}{
+		{"dedup", "dedup", false, false},
+		{"no-dedup", "no_dedup", true, false},
+		{"no-fork", "no_fork", false, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := exhaustBenchConfig()
+			cfg.NoDedup = tc.noDedup
+			cfg.NoFork = tc.noFork
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exhaust.Verify(w, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(placements)/(ns/1e9), "placements/s")
+			record(tc.mode, ns)
+		})
+	}
+
+	b.Run("campaign", func(b *testing.B) {
+		plan := space.Faults()
+		cfg := fault.CampaignConfig{Plan: plan, Parallelism: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fault.Run(w, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(placements)/(ns/1e9), "placements/s")
+		record("campaign", ns)
+	})
+}
+
+// emitBenchExhaust marshals the accumulated points, pairing speedups
+// against the no-fork baseline, and returns the document (nil if
+// nothing ran). Called from TestMain.
+func emitBenchExhaust() *benchExhaustDoc {
+	benchExhaustOut.mu.Lock()
+	defer benchExhaustOut.mu.Unlock()
+	if len(benchExhaustOut.Points) == 0 {
+		return nil
+	}
+	doc := &benchExhaustDoc{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Points:     benchExhaustOut.Points,
+	}
+	var base float64
+	for _, p := range doc.Points {
+		if p.Mode == "no_fork" {
+			base = p.NsPerOp
+		}
+	}
+	if base > 0 {
+		for i := range doc.Points {
+			if doc.Points[i].Mode != "no_fork" {
+				doc.Points[i].SpeedupVsNoFork = base / doc.Points[i].NsPerOp
+			}
+		}
+	}
+	return doc
+}

@@ -36,8 +36,10 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	nlft "repro"
+	"repro/internal/exhaust"
 	"repro/internal/fault"
 	"repro/internal/obs"
 )
@@ -55,6 +57,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "export the merged metrics registry (JSON, or CSV if the name ends in .csv)")
 	traceOut := flag.String("trace-out", "", "export the merged per-trial event stream as JSONL (trial 0 = golden run)")
 	progress := flag.Bool("progress", false, "report live trial progress on stderr")
+	exhaustive := flag.Bool("exhaustive", false, "replace random sampling with the full enumeration of every (quantum × target × locus × bit) placement in one hyperperiod; -trials and -seed are ignored")
+	quantum := flag.Duration("quantum", 50*time.Microsecond, "placement spacing for -exhaustive")
 	noFork := flag.Bool("no-fork", false, "disable the checkpoint/fork engine and simulate every trial from t=0 (results are identical either way)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "fork checkpoint spacing (0 = default 250µs, or the workload's hint when finer)")
 	snapshotStats := flag.Bool("snapshot-stats", false, "report the fork engine's checkpoint-store traffic (delta vs full-image bytes, pages copied/restored)")
@@ -82,6 +86,8 @@ func main() {
 		SnapshotInterval: nlft.Time(*snapshotInterval),
 		SnapshotStats:    *snapshotStats,
 		NoConvergeCutoff: !*convergeCutoff,
+		Exhaustive:       *exhaustive,
+		Quantum:          nlft.Time(*quantum),
 	}
 	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel, opts); err != nil {
 		pprof.StopCPUProfile()
@@ -117,6 +123,8 @@ type outputOptions struct {
 	SnapshotInterval nlft.Time
 	SnapshotStats    bool
 	NoConvergeCutoff bool
+	Exhaustive       bool
+	Quantum          nlft.Time
 }
 
 func parseTargets(spec string) ([]fault.Target, error) {
@@ -151,6 +159,21 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 		NoFork:           opts.NoFork,
 		SnapshotInterval: opts.SnapshotInterval,
 		NoConvergeCutoff: opts.NoConvergeCutoff,
+	}
+	if opts.Exhaustive {
+		// Exhaustive mode: the campaign runs the full enumerated plan
+		// instead of sampling, so the reported per-class fractions are
+		// exact population values (the confidence intervals collapse to
+		// sampling noise of zero in the limit; they are still printed).
+		space, err := exhaust.NewSpace(w, &exhaust.Config{
+			Quantum: opts.Quantum, Targets: targets,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Plan = space.Faults()
+		fmt.Printf("exhaustive mode: %d placements = %d quanta × %d (target,locus,bit) over [%v, %v) @ %v\n",
+			space.Len(), space.Quanta, space.PerQuantum, space.Start, space.End, space.Quantum)
 	}
 	if opts.Progress {
 		lastPct := -1

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+// TestExhaustFixture runs the noalloc and nodeterminism analyzers
+// together over the exhaust-engine fixture: the exhaustive verifier's
+// per-placement hot loop must satisfy the zero-allocation contract
+// (pooled self-append arenas, bound checker callbacks), and — because
+// internal/exhaust is part of the deterministic-simulation core — its
+// aggregation code must not let map iteration order, wall-clock reads,
+// or unstable sorts leak into certificate bytes. The fixture's import
+// path sits under internal/exhaust so the nodeterminism analyzer
+// treats it as a simulation package.
+func TestExhaustFixture(t *testing.T) {
+	runAnalyzersTest(t, []*Analyzer{NoAlloc, NoDeterminism}, "exhaust", "repro/internal/exhaust/exhfixture")
+}

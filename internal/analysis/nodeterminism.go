@@ -19,6 +19,7 @@ var simPackages = []string{
 	"internal/fault",
 	"internal/cpu",
 	"internal/obs",
+	"internal/exhaust",
 }
 
 // isSimPackage reports whether the import path belongs to the

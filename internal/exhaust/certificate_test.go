@@ -1,0 +1,123 @@
+package exhaust
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+)
+
+// certFixtureConfig is the pinned fixture run: a restricted space small
+// enough to regenerate in milliseconds but exercising two target
+// classes and both detection mechanisms.
+func certFixtureConfig() Config {
+	return Config{
+		Quantum: 250 * des.Microsecond,
+		Targets: []fault.Target{fault.TargetRegister, fault.TargetALU},
+		Label:   "cert-fixture",
+	}
+}
+
+// TestCertificateGolden compares the canonical certificate of a pinned
+// configuration byte-wise against the checked-in fixture. Run with
+// -update after an intentional change to the fault model, the
+// classifier, or the certificate schema; the diff then documents
+// exactly what shifted.
+func TestCertificateGolden(t *testing.T) {
+	w := gateWorkload()
+	res, err := Verify(w, certFixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Cert.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "cert_small.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes, digest %s)", path, len(got), res.Cert.Digest)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("certificate diverged from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestCertificateCanonical pins the canonicalization properties the
+// golden artifact depends on: marshaling is deterministic, the digest
+// covers the content with the Digest field empty (so stamping is
+// idempotent), WriteFile round-trips the exact bytes, and changing any
+// semantic field changes the digest.
+func TestCertificateCanonical(t *testing.T) {
+	w := gateWorkload()
+	res, err := Verify(w, certFixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cert
+	if c.Digest == "" || !strings.HasPrefix(c.Digest, "fnv1a:") {
+		t.Fatalf("digest %q not stamped at build time", c.Digest)
+	}
+	a, err := c.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("canonical marshal is not deterministic")
+	}
+	// The serialized digest field matches the stamped one.
+	var round Certificate
+	if err := json.Unmarshal(a, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Digest != c.Digest {
+		t.Fatalf("serialized digest %s, stamped %s", round.Digest, c.Digest)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cert.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, a) {
+		t.Fatal("WriteFile bytes differ from MarshalCanonical")
+	}
+
+	// Semantic changes move the digest.
+	mutated := *c
+	mutated.Counts = map[string]int{"masked": 1}
+	mb, err := mutated.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mc Certificate
+	if err := json.Unmarshal(mb, &mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Digest == c.Digest {
+		t.Fatal("digest unchanged after mutating counts")
+	}
+}

@@ -1,0 +1,387 @@
+package exhaust
+
+// The fork-path exploration engine. One worker owns one
+// fault.ForkSession (live instance + golden-prefix checkpoints) and
+// runs its strided share of the placement space, each placement
+// restoring the latest sound checkpoint before its injection instant
+// and simulating only the suffix. At every checkpoint boundary after
+// the injection the worker compares the instance's forward digest
+// against (a) the golden run's digest at that boundary — a match is
+// PR 5's convergence cutoff, the golden suffix is spliced on — and
+// (b) its visited-digest memo table: a match means an earlier placement
+// already simulated this exact future, so its recorded suffix (writes,
+// events, counter deltas) is composed on instead of re-simulated.
+//
+// Soundness of the memo composition is argued in DESIGN.md
+// ("Digest-dedup soundness"); the load-bearing facts are that
+// kernel.ForwardDigest folds every bit of state that can influence the
+// remainder of a run (clock, pending-event multiset, processor, memory,
+// fail-silent latch, scheduler/TEM state) and that pure measurements
+// (detection counters, recorder tallies, the event log) are exactly the
+// things it excludes — which is why memos store suffix DELTAS for
+// those, not absolutes: two placements meeting at the same digest share
+// a future, not a past.
+//
+// The memo tables are per-worker (no cross-worker synchronization), so
+// EngineStats vary with the worker count, but outcome data cannot: a
+// memo only ever substitutes a suffix that simulation would have
+// reproduced bit-identically.
+
+import (
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+)
+
+// memoKey identifies a reached state: checkpoint boundary index plus
+// the forward digest there. Digest collisions across distinct states
+// are possible in principle (64-bit FNV-1a); the differential suite
+// pins dedup-on against dedup-off and fork-off to keep that theoretical
+// risk regression-tested.
+type memoKey struct {
+	b      int
+	digest uint64
+}
+
+// mechCount is one detection mechanism's counter, kept in sorted-name
+// lists so suffix deltas merge deterministically.
+type mechCount struct {
+	name string
+	n    uint64
+}
+
+// suffixMemo records everything a placement needs to compose its result
+// from a boundary state an earlier placement already simulated past:
+// the suffix's outputs and events verbatim, and the suffix's counter
+// DELTAS (the two placements' prefixes differ, so absolutes would not
+// transfer).
+type suffixMemo struct {
+	writes     []fault.Write
+	events     []obs.Event
+	dOmissions int
+	dMasked    int
+	dECC       uint64
+	mechs      []mechCount // detection-counter deltas, sorted by name
+	failedEnd  bool
+}
+
+// mark is a boundary a simulated placement passed through without a
+// memo hit; at finalize it becomes a suffixMemo for later placements.
+type mark struct {
+	b         int
+	digest    uint64
+	writesLen int
+	eventsLen int
+	omissions int
+	masked    int
+	ecc       uint64
+	// mechOff/mechLen locate this boundary's detection counters in the
+	// worker's mech arena.
+	mechOff, mechLen int
+}
+
+// worker owns one fork session and explores placements sequentially.
+// The injection and boundary-check callbacks are closures created once
+// per worker that read the worker's current-placement fields, so the
+// per-placement loop schedules events without allocating closures.
+type worker struct {
+	s       *fault.ForkSession
+	faults  []fault.Fault
+	noDedup bool
+	visited map[memoKey]*suffixMemo
+
+	// Current-placement state read by the bound callbacks.
+	f          fault.Fault
+	kernelFlag bool
+	converged  bool
+	convergedAt int
+	memo       *suffixMemo
+	memoAt     int
+	nextCheck  int
+	collectOff int
+
+	// Reused buffers: steady-state capacity, truncate-refill per
+	// placement.
+	marks       []mark
+	mechArena   []mechCount
+	finalWrites []fault.Write
+	finalEvents []obs.Event
+	curMechs    []mechCount
+	endMechs    []mechCount
+	mechNames   []string
+
+	injectFn  func()
+	checkFn   func()
+	collectFn func(string, uint64)
+
+	stats EngineStats
+}
+
+// newWorker builds a fork session (with full event streams) and the
+// bound callbacks.
+func newWorker(w fault.Workload, cfg *Config, faults []fault.Fault) (*worker, error) {
+	s, err := fault.NewForkSession(w, cfg.SnapshotInterval, true)
+	if err != nil {
+		return nil, err
+	}
+	wk := &worker{s: s, faults: faults, noDedup: cfg.NoDedup,
+		visited: make(map[memoKey]*suffixMemo)}
+	wk.injectFn = func() { wk.inject() }
+	wk.checkFn = func() { wk.checkBoundary() }
+	wk.collectFn = func(m string, n uint64) { wk.collectMech(m, n) }
+	return wk, nil
+}
+
+// inject applies the current placement — the planned-campaign decision
+// tree: no modelled kernel-hit coins, but a fault landing while the
+// kernel itself executes is always caught by the kernel EDMs (the
+// deterministic part of the model, identical to a planned
+// fault.Run trial's).
+//
+//nlft:noalloc
+func (wk *worker) inject() {
+	if wk.s.Inst.Kernel.Activity() == kernel.ActivityKernel {
+		wk.kernelFlag = true
+		wk.s.Inst.Kernel.ForceFailSilent("kernel EDM: assertion after fault")
+		return
+	}
+	fault.ApplyFault(wk.s.Inst, wk.f)
+}
+
+// collectMech appends one detection counter to the arena segment that
+// starts at collectOff, keeping the segment name-sorted (insertion into
+// a segment that is at most a handful of mechanisms long).
+//
+//nlft:noalloc
+func (wk *worker) collectMech(name string, n uint64) {
+	if n == 0 {
+		return
+	}
+	wk.mechArena = append(wk.mechArena, mechCount{name: name, n: n})
+	for j := len(wk.mechArena) - 1; j > wk.collectOff; j-- {
+		if wk.mechArena[j-1].name <= wk.mechArena[j].name {
+			break
+		}
+		wk.mechArena[j-1], wk.mechArena[j] = wk.mechArena[j], wk.mechArena[j-1]
+	}
+}
+
+// checkBoundary fires at a checkpoint boundary after the injection (the
+// engine's hot loop: every simulated placement crosses every remaining
+// boundary until it converges, memo-hits, or reaches the horizon). It
+// is self-rearming like the campaign's convergence checker, so at
+// digest time no checker event is pending and the pending-event
+// multiset compares cleanly against the golden capture's.
+//
+//nlft:noalloc
+func (wk *worker) checkBoundary() {
+	b := wk.nextCheck
+	d := wk.s.Digest()
+	if d == wk.s.GoldenDigest(b) {
+		wk.converged = true
+		wk.convergedAt = b
+		wk.s.Inst.Sim.Stop()
+		return
+	}
+	if !wk.noDedup {
+		if m, ok := wk.visited[memoKey{b: b, digest: d}]; ok {
+			wk.memo = m
+			wk.memoAt = b
+			wk.s.Inst.Sim.Stop()
+			return
+		}
+		// First visit: record the boundary so this placement's suffix
+		// becomes a memo at finalize.
+		wk.collectOff = len(wk.mechArena)
+		wk.s.Inst.Kernel.EachDetected(wk.collectFn)
+		wk.marks = append(wk.marks, mark{
+			b:         b,
+			digest:    d,
+			writesLen: len(wk.s.Inst.Rec.Writes),
+			eventsLen: len(wk.s.Col.Events()),
+			omissions: wk.s.Inst.Rec.Omissions,
+			masked:    wk.s.Inst.Rec.MaskedReleases,
+			ecc:       wk.s.Inst.Kernel.Mem().CorrectedErrors,
+			mechOff:   wk.collectOff,
+			mechLen:   len(wk.mechArena) - wk.collectOff,
+		})
+	}
+	wk.nextCheck++
+	if wk.nextCheck < wk.s.Checkpoints() {
+		wk.s.Inst.Sim.Schedule(wk.s.CheckpointAt(wk.nextCheck), des.PrioObserver, wk.checkFn)
+	}
+}
+
+// runPlacement explores canonical placement i: restore the fork base,
+// swap the phantom for the real injection, arm the boundary checker,
+// run until the horizon or a cutoff, then compose and classify.
+func (wk *worker) runPlacement(i int) (fault.TrialRecord, []Violation, error) {
+	f := wk.faults[i]
+	ck := wk.s.Select(f.At)
+	wk.s.Restore(ck)
+
+	wk.f = f
+	wk.kernelFlag = false
+	wk.converged = false
+	wk.memo = nil
+	wk.marks = wk.marks[:0]
+	wk.mechArena = wk.mechArena[:0]
+	wk.s.Inst.Sim.Schedule(f.At, des.PrioInject, wk.injectFn)
+
+	wk.nextCheck = wk.s.Checkpoints()
+	for b := ck + 1; b < wk.s.Checkpoints(); b++ {
+		if wk.s.CheckpointAt(b) > f.At {
+			wk.nextCheck = b
+			break
+		}
+	}
+	if wk.nextCheck < wk.s.Checkpoints() {
+		wk.s.Inst.Sim.Schedule(wk.s.CheckpointAt(wk.nextCheck), des.PrioObserver, wk.checkFn)
+	}
+
+	err := wk.s.Inst.Sim.RunUntil(wk.s.Horizon())
+	if err := errStopOK(err, wk.converged || wk.memo != nil); err != nil {
+		return fault.TrialRecord{}, nil, err
+	}
+	return wk.finalize(i)
+}
+
+// finalize composes the placement's full-horizon result from the live
+// stop state plus (when a cutoff fired) the golden or memoized suffix,
+// classifies it exactly like a campaign trial, evaluates the verifier's
+// guarantees, and memoizes every boundary this placement crossed first.
+func (wk *worker) finalize(i int) (fault.TrialRecord, []Violation, error) {
+	inst := wk.s.Inst
+	wk.finalWrites = append(wk.finalWrites[:0], inst.Rec.Writes...)
+	wk.finalEvents = append(wk.finalEvents[:0], wk.s.Col.Events()...)
+	omissions := inst.Rec.Omissions
+	masked := inst.Rec.MaskedReleases
+	ecc := inst.Kernel.Mem().CorrectedErrors
+	failed, _ := inst.Kernel.Failed()
+
+	wk.curMechs = wk.curMechs[:0]
+	wk.collectOff = len(wk.mechArena)
+	inst.Kernel.EachDetected(wk.collectFn)
+	wk.curMechs = append(wk.curMechs, wk.mechArena[wk.collectOff:]...)
+	wk.mechArena = wk.mechArena[:wk.collectOff]
+
+	switch {
+	case wk.converged:
+		b := wk.convergedAt
+		wk.finalWrites = append(wk.finalWrites, wk.s.Golden()[wk.s.GoldenWritesLen(b):]...)
+		wk.finalEvents = append(wk.finalEvents, wk.s.GoldenEvents()[wk.s.GoldenEventsLen(b):]...)
+		// Golden suffix: fault-free, so all counter deltas are zero and
+		// the node cannot fail silent past the cutoff.
+		wk.endMechs = append(wk.endMechs[:0], wk.curMechs...)
+		wk.stats.ConvergedGolden++
+	case wk.memo != nil:
+		m := wk.memo
+		wk.finalWrites = append(wk.finalWrites, m.writes...)
+		wk.finalEvents = append(wk.finalEvents, m.events...)
+		omissions += m.dOmissions
+		masked += m.dMasked
+		ecc += m.dECC
+		failed = m.failedEnd
+		wk.endMechs = mergeAdd(wk.endMechs[:0], wk.curMechs, m.mechs)
+		wk.stats.DedupHits++
+	default:
+		wk.endMechs = append(wk.endMechs[:0], wk.curMechs...)
+		wk.stats.Simulated++
+	}
+	wk.stats.Placements++
+
+	rec := fault.TrialRecord{Fault: wk.f, Kernel: wk.kernelFlag}
+	wk.mechNames = wk.mechNames[:0]
+	for _, mc := range wk.endMechs {
+		wk.mechNames = append(wk.mechNames, mc.name)
+	}
+	if ecc > 0 {
+		wk.mechNames = insertSorted(wk.mechNames, "ecc")
+	}
+	if len(wk.mechNames) > 0 {
+		rec.Mechanisms = make([]string, len(wk.mechNames))
+		copy(rec.Mechanisms, wk.mechNames)
+	}
+	rec.Outcome = fault.ClassifyRaw(failed, wk.finalWrites, omissions, masked,
+		ecc, wk.s.Golden(), false)
+
+	viols := checkPlacement(i, wk.f, wk.finalEvents, rec.Outcome, omissions)
+
+	if !wk.noDedup {
+		for _, mk := range wk.marks {
+			key := memoKey{b: mk.b, digest: mk.digest}
+			if _, ok := wk.visited[key]; ok {
+				continue
+			}
+			wk.visited[key] = &suffixMemo{
+				writes:     append([]fault.Write(nil), wk.finalWrites[mk.writesLen:]...),
+				events:     append([]obs.Event(nil), wk.finalEvents[mk.eventsLen:]...),
+				dOmissions: omissions - mk.omissions,
+				dMasked:    masked - mk.masked,
+				dECC:       ecc - mk.ecc,
+				mechs:      subCounts(wk.endMechs, wk.mechArena[mk.mechOff:mk.mechOff+mk.mechLen]),
+				failedEnd:  failed,
+			}
+			wk.stats.Memos++
+		}
+	}
+	return rec, viols, nil
+}
+
+// mergeAdd merges two name-sorted counter lists into dst, summing equal
+// names.
+func mergeAdd(dst, a, b []mechCount) []mechCount {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].name == b[j].name:
+			dst = append(dst, mechCount{name: a[i].name, n: a[i].n + b[j].n})
+			i++
+			j++
+		case a[i].name < b[j].name:
+			dst = append(dst, a[i])
+			i++
+		default:
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// subCounts returns end minus at (both name-sorted; counters are
+// monotone over a run, so every boundary entry appears at the end with
+// an equal or larger count), keeping positive deltas only.
+func subCounts(end, at []mechCount) []mechCount {
+	var out []mechCount
+	j := 0
+	for _, e := range end {
+		for j < len(at) && at[j].name < e.name {
+			j++
+		}
+		n := e.n
+		if j < len(at) && at[j].name == e.name {
+			n -= at[j].n
+			j++
+		}
+		if n > 0 {
+			out = append(out, mechCount{name: e.name, n: n})
+		}
+	}
+	return out
+}
+
+// insertSorted inserts s into a sorted string slice.
+func insertSorted(names []string, s string) []string {
+	names = append(names, s)
+	for j := len(names) - 1; j > 0; j-- {
+		if names[j-1] <= names[j] {
+			break
+		}
+		names[j-1], names[j] = names[j], names[j-1]
+	}
+	return names
+}

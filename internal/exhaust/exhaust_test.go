@@ -1,0 +1,298 @@
+package exhaust
+
+import (
+	"flag"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden certificate fixture")
+
+// gateWorkload is the CI gate configuration: the small brake-by-wire
+// control workload whose full placement space enumerates in seconds.
+func gateWorkload() fault.Workload {
+	return fault.NewStdWorkload(fault.StdWorkloadConfig{ECC: true, Periods: 3, Compute: 16})
+}
+
+// tinyConfig restricts the space so unit tests stay fast on one core:
+// two target classes at a coarse quantum.
+func tinyConfig() Config {
+	return Config{
+		Quantum: 250 * des.Microsecond,
+		Targets: []fault.Target{fault.TargetRegister, fault.TargetALU},
+	}
+}
+
+func TestSpaceEnumeration(t *testing.T) {
+	w := gateWorkload()
+	cfg := Config{}
+	space, err := NewSpace(w, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default grid: the 1ms hyperperiod at the 50µs default quantum.
+	if space.Quanta != 20 {
+		t.Errorf("quanta = %d, want 20", space.Quanta)
+	}
+	// Per-quantum support mirrors drawFault: 13 registers × 32 bits, 32
+	// PC bits, 32 SP bits, 32 single-bit ALU masks, and 32 bits per data
+	// and code word.
+	_, dataWords := w.DataRange()
+	_, codeWords := w.CodeRange()
+	want := 13*32 + 32 + 32 + 32 + int(dataWords)*32 + int(codeWords)*32
+	if space.PerQuantum != want {
+		t.Errorf("perQuantum = %d, want %d", space.PerQuantum, want)
+	}
+	if space.Len() != space.Quanta*space.PerQuantum {
+		t.Errorf("len = %d, want quanta×perQuantum", space.Len())
+	}
+
+	faults := space.Faults()
+	if len(faults) != space.Len() {
+		t.Fatalf("materialized %d faults, want %d", len(faults), space.Len())
+	}
+	seen := make(map[fault.Fault]int, len(faults))
+	for i, f := range faults {
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("placement %d duplicates placement %d: %v", i, prev, f)
+		}
+		seen[f] = i
+		if f.At < space.Start || f.At >= space.End {
+			t.Fatalf("placement %d at %v outside the half-open window [%v, %v)",
+				i, f.At, space.Start, space.End)
+		}
+		if f != space.Fault(i) {
+			t.Fatalf("Fault(%d) = %v, materialized %v", i, space.Fault(i), f)
+		}
+	}
+	// The first placement sits exactly at the window start; the window
+	// end itself is never enumerated (half-open contract, like
+	// drawFault's start + Intn(end-start)).
+	if faults[0].At != space.Start {
+		t.Errorf("first placement at %v, want window start %v", faults[0].At, space.Start)
+	}
+	if last := faults[len(faults)-1].At; last != space.Start+des.Time(space.Quanta-1)*space.Quantum {
+		t.Errorf("last placement at %v, want final quantum", last)
+	}
+}
+
+func TestSpaceWindowClipping(t *testing.T) {
+	// The standard workload's injection window spans Periods-1 periods,
+	// but its hyperperiod is one period — the space must clip to it.
+	w := gateWorkload()
+	cfg := Config{}
+	space, err := NewSpace(w, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Start != 0 || space.End != des.Millisecond {
+		t.Errorf("window [%v, %v), want the [0, 1ms) hyperperiod", space.Start, space.End)
+	}
+	// Explicit Start/End override the clip.
+	cfg = Config{Start: des.Millisecond, End: des.Millisecond + 100*des.Microsecond,
+		Quantum: 30 * des.Microsecond}
+	space, err = NewSpace(w, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Start != des.Millisecond || space.Quanta != 4 {
+		t.Errorf("override window start %v quanta %d, want 1ms and ceil(100/30)=4",
+			space.Start, space.Quanta)
+	}
+	// An empty window is an error, not a zero-length space.
+	cfg = Config{Start: des.Millisecond, End: des.Millisecond}
+	if _, err := NewSpace(w, &cfg); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+// TestVerifyGate is the acceptance check the CI gate script re-runs
+// from the command line: every placement of the gate configuration's
+// full space holds the TEM invariants and misses no deadline, and the
+// per-class totals match a planned sampling campaign over the same
+// placement list exactly.
+func TestVerifyGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-space enumeration in -short mode")
+	}
+	w := gateWorkload()
+	res, err := Verify(w, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Records); got != res.Space.Len() {
+		t.Fatalf("explored %d of %d placements", got, res.Space.Len())
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != res.Space.Len() {
+		t.Fatalf("classified %d of %d placements", total, res.Space.Len())
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("%d guarantee violations, first: %v", len(res.Violations), res.Violations[0])
+	}
+	if res.Counts[fault.Omission] != 0 || res.Counts[fault.ValueFailure] != 0 {
+		t.Fatalf("unsafe outcomes in the gate config: %v", res.Counts)
+	}
+	if res.Counts[fault.Masked] == 0 {
+		t.Fatal("no masked placements; TEM never exercised")
+	}
+
+	camp, err := fault.Run(w, fault.CampaignConfig{Plan: res.Space.Faults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := res.CrossCheck(camp); len(diffs) != 0 {
+		t.Fatalf("cross-check diverged: %v", diffs)
+	}
+}
+
+// TestVerifyDifferential pins the tentpole's determinism claim: outcome
+// data — per-placement records, tallies, violations, and the
+// certificate digest — is bit-identical at any worker count, with the
+// visited-digest dedup on or off, and on the from-scratch reference
+// path with no fork engine at all. Only EngineStats may differ.
+func TestVerifyDifferential(t *testing.T) {
+	w := fault.NewStdWorkload(fault.StdWorkloadConfig{Periods: 3, Compute: 16})
+	base := tinyConfig()
+
+	variants := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"workers-1", func() Config { c := base; c.Parallelism = 1; return c }},
+		{"workers-4", func() Config { c := base; c.Parallelism = 4; return c }},
+		{"workers-max", func() Config { c := base; c.Parallelism = runtime.GOMAXPROCS(0); return c }},
+		{"no-dedup", func() Config { c := base; c.Parallelism = 4; c.NoDedup = true; return c }},
+		{"odd-interval", func() Config {
+			c := base
+			c.Parallelism = 2
+			c.SnapshotInterval = 300 * des.Microsecond
+			return c
+		}},
+		{"no-fork", func() Config { c := base; c.Parallelism = 4; c.NoFork = true; return c }},
+	}
+
+	ref, err := Verify(w, variants[0].cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		t.Run(v.name, func(t *testing.T) {
+			got, err := Verify(w, v.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Records, ref.Records) {
+				for i := range got.Records {
+					if !reflect.DeepEqual(got.Records[i], ref.Records[i]) {
+						t.Fatalf("placement %d diverged: %+v vs ref %+v",
+							i, got.Records[i], ref.Records[i])
+					}
+				}
+			}
+			if !reflect.DeepEqual(got.Counts, ref.Counts) {
+				t.Errorf("counts %v, ref %v", got.Counts, ref.Counts)
+			}
+			if !reflect.DeepEqual(got.ByTarget, ref.ByTarget) {
+				t.Errorf("by-target diverged")
+			}
+			if !reflect.DeepEqual(got.ByMechanism, ref.ByMechanism) {
+				t.Errorf("by-mechanism %v, ref %v", got.ByMechanism, ref.ByMechanism)
+			}
+			if !reflect.DeepEqual(got.Violations, ref.Violations) {
+				t.Errorf("violations diverged: %d vs ref %d", len(got.Violations), len(ref.Violations))
+			}
+			if got.Cert.Digest != ref.Cert.Digest {
+				t.Errorf("certificate digest %s, ref %s", got.Cert.Digest, ref.Cert.Digest)
+			}
+		})
+	}
+}
+
+// TestBoundaryPlacements pins the window and checkpoint-selection edge
+// cases: the very first quantum (injection at t=0, before any event has
+// fired), instants exactly on checkpoint boundaries (the strictly-
+// before selection rule plus the cpuBusyUntil guard), the final quantum
+// of the hyperperiod, and the last nanosecond of the window. Each
+// placement must classify identically through the fork engine and the
+// from-scratch reference path.
+func TestBoundaryPlacements(t *testing.T) {
+	w := fault.NewStdWorkload(fault.StdWorkloadConfig{Periods: 3, Compute: 16})
+	_, end := des.Time(0), des.Millisecond // the clipped hyperperiod window
+	placements := []fault.Fault{
+		{At: 0, Target: fault.TargetRegister, Reg: 6, Bit: 3},
+		{At: 0, Target: fault.TargetPC, Bit: 4},
+		{At: 250 * des.Microsecond, Target: fault.TargetRegister, Reg: 6, Bit: 3}, // on a checkpoint boundary
+		{At: 500 * des.Microsecond, Target: fault.TargetALU, Mask: 1 << 9},
+		{At: end - 50*des.Microsecond, Target: fault.TargetRegister, Reg: 4, Bit: 31}, // final quantum
+		{At: end - 1, Target: fault.TargetMemoryData, Addr: 0x8000, Bit: 7},           // last window instant
+	}
+	forkCfg := Config{Parallelism: 1}
+	scratchCfg := Config{Parallelism: 1, NoFork: true}
+	got, err := VerifyFaults(w, forkCfg, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := VerifyFaults(w, scratchCfg, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range placements {
+		if !reflect.DeepEqual(got.Records[i], want.Records[i]) {
+			t.Errorf("placement %v: fork %+v, scratch %+v",
+				placements[i], got.Records[i], want.Records[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Violations, want.Violations) {
+		t.Errorf("violations diverged: fork %v, scratch %v", got.Violations, want.Violations)
+	}
+}
+
+// TestForkSessionSelection pins the session façade's checkpoint
+// boundary semantics at the window edges: a fault at t=0 forks from
+// checkpoint 0 (captured before any event fires), a fault exactly on a
+// checkpoint instant forks from an earlier one (strictly-before rule),
+// and selection never regresses across the window.
+func TestForkSessionSelection(t *testing.T) {
+	w := gateWorkload()
+	s, err := fault.NewForkSession(w, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Checkpoints() < 3 {
+		t.Fatalf("only %d checkpoints", s.Checkpoints())
+	}
+	if got := s.Select(0); got != 0 {
+		t.Errorf("Select(0) = %d, want 0", got)
+	}
+	if at := s.CheckpointAt(0); at != 0 {
+		t.Errorf("checkpoint 0 at %v, want 0", at)
+	}
+	for k := 1; k < s.Checkpoints(); k++ {
+		if got := s.Select(s.CheckpointAt(k)); got >= k {
+			t.Errorf("Select(checkpoint %d instant) = %d, want < %d", k, got, k)
+		}
+	}
+	prev := 0
+	for at := des.Time(0); at < s.Horizon(); at += 10 * des.Microsecond {
+		got := s.Select(at)
+		if got < prev {
+			t.Fatalf("selection regressed at %v: %d after %d", at, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestVerifyFaultsValidation(t *testing.T) {
+	w := gateWorkload()
+	if _, err := VerifyFaults(w, Config{}, nil); err == nil {
+		t.Error("empty placement list accepted")
+	}
+}

@@ -22,6 +22,15 @@ type CampaignConfig struct {
 	Trials int
 	// Seed drives all random choices; campaigns are fully reproducible.
 	Seed uint64
+	// Plan, when non-nil, replaces random fault drawing with an
+	// enumerated placement list: trial i injects exactly Plan[i], no
+	// kernel-hit coin is tossed (a planned fault lands in kernel
+	// execution only when the kernel is actually executing at its
+	// instant — the deterministic part of the kernel model), and Trials
+	// is forced to len(Plan). The exhaustive verifier (internal/exhaust)
+	// uses planned campaigns to cross-check its enumeration against the
+	// sampling engine's classification of the very same placements.
+	Plan []Fault
 	// Targets restricts the fault locations. Default AllTargets().
 	Targets []Target
 	// KernelShare is the probability that a fault strikes during kernel
@@ -91,6 +100,9 @@ type CampaignConfig struct {
 }
 
 func (c *CampaignConfig) applyDefaults() {
+	if c.Plan != nil {
+		c.Trials = len(c.Plan)
+	}
 	if c.Trials == 0 {
 		c.Trials = 1000
 	}
@@ -457,13 +469,13 @@ func Run(w Workload, cfg CampaignConfig) (*Result, error) {
 				// Each record lands at its own index, so the trial order of
 				// the Result is the sequential order regardless of workers.
 				for trial := wk; trial < cfg.Trials; trial += workers {
-					rng := des.NewRandIndexed(cfg.Seed, uint64(trial))
+					plan := planForTrial(w, &cfg, trial)
 					col := wcol
 					if collectors != nil {
 						col = newTrialCollector(&cfg)
 						collectors[trial] = col
 					}
-					rec, err := runTrial(w, cfg, rng, golden, &scratch, col)
+					rec, err := runTrial(w, cfg, plan, golden, &scratch, col)
 					if err != nil {
 						errs[wk] = fmt.Errorf("fault: trial %d: %w", trial, err)
 						return
@@ -584,6 +596,13 @@ func drawFault(w Workload, cfg CampaignConfig, rng *des.Rand) Fault {
 	return f
 }
 
+// ApplyFault injects f into a live instance, exactly as a campaign
+// trial's injection callback does (minus the kernel-activity decision
+// tree, which the caller owns). Exported for the exhaustive verifier
+// (internal/exhaust), whose placements must corrupt state identically
+// to sampled trials.
+func ApplyFault(inst *Instance, f Fault) { apply(inst, f) }
+
 // apply injects the fault into a live instance.
 func apply(inst *Instance, f Fault) {
 	switch f.Target {
@@ -606,19 +625,21 @@ type trialScratch struct {
 	mechs []string
 }
 
-// runTrial executes one injection run and classifies it.
-func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write, scratch *trialScratch, col *obs.Collector) (TrialRecord, error) {
+// runTrial executes one injection run and classifies it. The trial's
+// random decisions (or its enumerated placement, for planned campaigns)
+// arrive precomputed in plan — see planForTrial.
+func runTrial(w Workload, cfg CampaignConfig, plan trialPlan, golden []Write, scratch *trialScratch, col *obs.Collector) (TrialRecord, error) {
 	inst, err := newInstance(w, col)
 	if err != nil {
 		return TrialRecord{}, err
 	}
-	f := drawFault(w, cfg, rng)
+	f := plan.fault
 	rec := TrialRecord{Fault: f}
-	// Decide up front whether this fault lands in kernel execution: the
-	// simulated kernel's logic runs outside the simulated CPU, so its
+	// Whether this fault lands in kernel execution was decided up front:
+	// the simulated kernel's logic runs outside the simulated CPU, so its
 	// share of exposure is modelled explicitly (see CampaignConfig).
-	kernelHit := rng.Bool(cfg.KernelShare)
-	kernelDetected := kernelHit && rng.Bool(cfg.KernelDetect)
+	kernelHit := plan.kernelHit
+	kernelDetected := plan.kernelDetected
 	undetectedKernel := false
 
 	inst.Sim.Schedule(f.At, des.PrioInject, func() {
@@ -665,32 +686,44 @@ func runTrial(w Workload, cfg CampaignConfig, rng *des.Rand, golden []Write, scr
 	return rec, nil
 }
 
-// classify maps a finished trial onto the paper's outcome classes.
+// classify maps a finished trial onto the paper's outcome classes,
+// reading the observables off the live instance.
 func classify(inst *Instance, golden []Write, undetectedKernel bool) Outcome {
+	failed, _ := inst.Kernel.Failed()
+	return ClassifyRaw(failed, inst.Rec.Writes, inst.Rec.Omissions,
+		inst.Rec.MaskedReleases, inst.Kernel.Mem().CorrectedErrors,
+		golden, undetectedKernel)
+}
+
+// ClassifyRaw maps one finished trial's composed observables onto the
+// paper's outcome classes. classify is the instance-bound wrapper; the
+// exhaustive verifier calls this form directly because a deduplicated
+// placement's final writes and counters are composed from a memoized
+// suffix rather than read off a live instance.
+func ClassifyRaw(failed bool, writes []Write, omissions, maskedReleases int,
+	eccCorrected uint64, golden []Write, undetectedKernel bool) Outcome {
 	if undetectedKernel {
 		// A non-covered error in the kernel: §3.2.1 pessimistically
 		// treats these as (potential) system failures.
 		return ValueFailure
 	}
-	if failed, _ := inst.Kernel.Failed(); failed {
+	if failed {
 		return FailSilent
 	}
-	writes := inst.Rec.Writes
-	detections := inst.Rec.MaskedReleases > 0 ||
-		inst.Kernel.Mem().CorrectedErrors > 0
+	detections := maskedReleases > 0 || eccCorrected > 0
 	switch {
 	case equalWrites(writes, golden):
 		if detections {
 			return Masked
 		}
-		if inst.Rec.Omissions > 0 {
+		if omissions > 0 {
 			// All outputs present yet a release omitted: means the last
 			// release settled past the horizon in golden too; treat as
 			// omission conservatively.
 			return Omission
 		}
 		return NotActivated
-	case inst.Rec.Omissions > 0 && isSubsequence(writes, golden):
+	case omissions > 0 && isSubsequence(writes, golden):
 		return Omission
 	case isStrictPrefixOrSubsequence(writes, golden):
 		// Missing outputs without a recorded omission event: a recovery

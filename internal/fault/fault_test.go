@@ -204,13 +204,13 @@ func BenchmarkCampaignTrial(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := des.NewRand(1)
 	cfg := CampaignConfig{Trials: 1}
 	cfg.applyDefaults()
 	var scratch trialScratch
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := runTrial(w, cfg, rng, golden, &scratch, nil); err != nil {
+		plan := planForTrial(w, &cfg, i)
+		if _, err := runTrial(w, cfg, plan, golden, &scratch, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -127,9 +127,12 @@ type InstanceState struct {
 	maskedReleases int
 
 	// at is the capture instant; writesLen the golden write count at it;
-	// fwdDigest the kernel forward digest at it (net of the phantom).
+	// eventsLen the collector's event count at it (0 without a
+	// collector); fwdDigest the kernel forward digest at it (net of the
+	// phantom).
 	at        des.Time
 	writesLen int
+	eventsLen int
 	fwdDigest uint64
 }
 
@@ -145,6 +148,7 @@ func (inst *Instance) Snapshot(into *InstanceState, col *obs.Collector) {
 			into.col = obs.NewCollectorState()
 		}
 		col.Snapshot(into.col)
+		into.eventsLen = len(col.Events())
 	}
 	into.writes = append(into.writes[:0], inst.Rec.Writes...)
 	into.omissions = inst.Rec.Omissions
@@ -229,15 +233,27 @@ type trialPlan struct {
 	ckpt int
 }
 
+// planForTrial precomputes one trial's decisions: the enumerated
+// placement when cfg.Plan is set (planned campaigns toss no coins — the
+// kernel-hit model's deterministic part, the activity check at the
+// injection instant, still applies), otherwise runTrial's exact draw
+// order on the trial's (Seed, index) stream.
+func planForTrial(w Workload, cfg *CampaignConfig, trial int) trialPlan {
+	if cfg.Plan != nil {
+		return trialPlan{fault: cfg.Plan[trial]}
+	}
+	rng := des.NewRandIndexed(cfg.Seed, uint64(trial))
+	f := drawFault(w, *cfg, rng)
+	kh := rng.Bool(cfg.KernelShare)
+	kd := kh && rng.Bool(cfg.KernelDetect)
+	return trialPlan{fault: f, kernelHit: kh, kernelDetected: kd}
+}
+
 // planTrials precomputes all trials' plans.
 func planTrials(w Workload, cfg *CampaignConfig) []trialPlan {
 	plans := make([]trialPlan, cfg.Trials)
 	for i := range plans {
-		rng := des.NewRandIndexed(cfg.Seed, uint64(i))
-		f := drawFault(w, *cfg, rng)
-		kh := rng.Bool(cfg.KernelShare)
-		kd := kh && rng.Bool(cfg.KernelDetect)
-		plans[i] = trialPlan{fault: f, kernelHit: kh, kernelDetected: kd}
+		plans[i] = planForTrial(w, cfg, i)
 	}
 	return plans
 }

@@ -1,0 +1,120 @@
+package fault
+
+// ForkSession exposes the campaign engine's checkpoint/fork machinery
+// to the exhaustive verifier (internal/exhaust): one live instance, a
+// golden-prefix checkpoint store captured with the campaign's exact
+// phantom-injection queue geometry, and the finished golden run's
+// writes and event stream so converged suffixes can be spliced instead
+// of simulated. The soundness argument in fork.go applies unchanged —
+// a session restore followed by a real injection is bit-identical to a
+// from-scratch trial of the same placement.
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/obs"
+)
+
+// ForkSession is one worker's reusable fork state.
+type ForkSession struct {
+	// Inst is the live instance every restore rewinds in place.
+	Inst *Instance
+	// Col is the instance's collector (nil unless the session was built
+	// with events); its buffer rewinds with every Restore.
+	Col *obs.Collector
+
+	cs           *checkpointStore
+	golden       []Write
+	goldenEvents []obs.Event
+	horizon      des.Time
+}
+
+// NewForkSession builds an instance, captures golden-prefix checkpoints
+// at the resolved spacing (interval 0 means the campaign default), and
+// finishes the golden run to the horizon, validating it the way Run
+// does. With withEvents the instance carries a collector with no event
+// cap, so every restore rewinds a complete event stream — the
+// exhaustive verifier checks TEM invariants over full traces.
+func NewForkSession(w Workload, interval des.Time, withEvents bool) (*ForkSession, error) {
+	var col *obs.Collector
+	if withEvents {
+		if _, ok := w.(ObservableWorkload); !ok {
+			return nil, fmt.Errorf("fault: workload is not observable; cannot collect event streams")
+		}
+		col = obs.NewCollector("")
+		col.SetEventLimit(0) // unlimited: invariant checks need full traces
+	}
+	inst, err := newInstance(w, col)
+	if err != nil {
+		return nil, err
+	}
+	s := &ForkSession{Inst: inst, Col: col, horizon: w.Horizon()}
+	cfg := CampaignConfig{SnapshotInterval: interval}
+	s.cs, err = captureCheckpoints(inst, col, resolveForkInterval(w, &cfg), s.horizon)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Sim.RunUntil(s.horizon); err != nil {
+		return nil, fmt.Errorf("fault: golden run: %w", err)
+	}
+	if failed, reason := inst.Kernel.Failed(); failed {
+		return nil, fmt.Errorf("fault: golden run failed silent: %s", reason)
+	}
+	if inst.Rec.Omissions > 0 {
+		return nil, fmt.Errorf("fault: golden run had omissions; workload unschedulable")
+	}
+	s.golden = append([]Write(nil), inst.Rec.Writes...)
+	if col != nil {
+		s.goldenEvents = append([]obs.Event(nil), col.Events()...)
+	}
+	return s, nil
+}
+
+// Checkpoints is the checkpoint count; boundaries are indexed [0, n).
+func (s *ForkSession) Checkpoints() int { return len(s.cs.states) }
+
+// CheckpointAt is the capture instant of boundary k.
+func (s *ForkSession) CheckpointAt(k int) des.Time { return s.cs.states[k].at }
+
+// GoldenDigest is the golden run's forward digest at boundary k (net of
+// the phantom, so directly comparable with Digest after an injection).
+func (s *ForkSession) GoldenDigest(k int) uint64 { return s.cs.states[k].fwdDigest }
+
+// GoldenWritesLen is the golden write count at boundary k.
+func (s *ForkSession) GoldenWritesLen(k int) int { return s.cs.states[k].writesLen }
+
+// GoldenEventsLen is the golden event count at boundary k (0 without a
+// collector).
+func (s *ForkSession) GoldenEventsLen(k int) int { return s.cs.states[k].eventsLen }
+
+// Select returns the fork base for a fault at the given instant: the
+// latest checkpoint strictly before it whose committed CPU slices all
+// end at or before it (the cpuBusyUntil guard — see fork.go).
+func (s *ForkSession) Select(at des.Time) int { return s.cs.selectFor(at) }
+
+// Golden is the fault-free output sequence.
+func (s *ForkSession) Golden() []Write { return s.golden }
+
+// GoldenEvents is the fault-free event stream (nil without a collector).
+func (s *ForkSession) GoldenEvents() []obs.Event { return s.goldenEvents }
+
+// Horizon is the simulated duration of one trial.
+func (s *ForkSession) Horizon() des.Time { return s.horizon }
+
+// Restore rewinds the session's instance (and collector) to checkpoint
+// k and cancels the phantom injection, leaving the instance ready for
+// the caller to schedule a real injection at PrioInject.
+//
+//nlft:noalloc
+func (s *ForkSession) Restore(k int) {
+	s.Inst.Restore(s.cs.states[k], s.Col)
+	s.Inst.Sim.Cancel(s.cs.phantom)
+}
+
+// Digest is the instance's current forward digest with no event
+// excluded (valid after Restore: the phantom is cancelled, and the real
+// injection has fired by the time boundaries are compared).
+//
+//nlft:noalloc
+func (s *ForkSession) Digest() uint64 { return s.Inst.Kernel.ForwardDigest(des.Event{}) }

@@ -78,6 +78,16 @@ type ObservableWorkload interface {
 	NewObserved(col *obs.Collector) (*Instance, error)
 }
 
+// Hyperperioder is implemented by workloads that know their hyperperiod
+// — the least common multiple of their task periods, after which the
+// release pattern repeats. The exhaustive verifier (internal/exhaust)
+// enumerates fault placements over one hyperperiod by default: a
+// placement at t and one at t + hyperperiod strike the same phase of
+// the schedule.
+type Hyperperioder interface {
+	Hyperperiod() des.Time
+}
+
 // checksumSrc is the standard campaign workload program: a compute loop
 // over the input and the task state with signature checkpoints, writing a
 // result and updating state each period. It keeps several registers live
@@ -268,6 +278,10 @@ func (w *stdWorkload) InjectionWindow() (des.Time, des.Time) {
 // SnapshotInterval implements SnapshotHinter: one task period, so fork
 // checkpoints land exactly on release boundaries.
 func (w *stdWorkload) SnapshotInterval() des.Time { return w.cfg.Period }
+
+// Hyperperiod implements Hyperperioder: a single periodic task's
+// schedule repeats every period.
+func (w *stdWorkload) Hyperperiod() des.Time { return w.cfg.Period }
 
 // DataRange implements Workload.
 func (w *stdWorkload) DataRange() (uint32, uint32) { return stdData, 8 }

@@ -188,6 +188,18 @@ func (d *digest) uint64(v uint64) {
 
 func (d *digest) sum() uint64 { return d.h }
 
+// DigestBytes returns the 64-bit FNV-1a digest of raw bytes — the same
+// hash DigestEvents chains, exposed for canonical-artifact stamping:
+// the exhaustive verifier digests its coverage certificate's canonical
+// serialization so the certificate itself is a golden artifact.
+func DigestBytes(b []byte) uint64 {
+	d := newDigest()
+	for _, c := range b {
+		d.byte(c)
+	}
+	return d.sum()
+}
+
 // DigestEvents returns a 64-bit FNV-1a digest over the canonical binary
 // encoding of the event stream. Two streams digest identically iff every
 // field of every event matches in order — the one-comparison equality

@@ -32,6 +32,7 @@ import (
 	"repro/internal/bbw"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/exhaust"
 	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/obs"
@@ -144,6 +145,32 @@ func RunCampaign(w Workload, cfg CampaignConfig) (*CampaignResult, error) {
 // loop between experiment and analysis.
 func DeriveParams(base Params, w Workload, cfg CampaignConfig) (Params, *CampaignResult, error) {
 	return core.DeriveParams(base, w, cfg)
+}
+
+// --- Exhaustive single-fault verification (internal/exhaust) ---
+
+// Exhaustive-verification types.
+type (
+	// ExhaustConfig parameterizes an exhaustive verification.
+	ExhaustConfig = exhaust.Config
+	// ExhaustResult is one exhaustive verification: per-placement
+	// records, class tallies, guarantee violations, and the coverage
+	// certificate.
+	ExhaustResult = exhaust.Result
+	// ExhaustSpace is the canonical enumeration of every single-fault
+	// placement in a workload's window.
+	ExhaustSpace = exhaust.Space
+	// ExhaustCertificate is the canonical coverage artifact.
+	ExhaustCertificate = exhaust.Certificate
+)
+
+// VerifyExhaustive enumerates every single-fault placement — (time
+// quantum × target × locus × bit) — in one hyperperiod of the workload
+// and checks, for every explored path, that the TEM invariants hold, no
+// deadline is missed, and the classification matches a sampling
+// campaign's. Sampling estimates probabilities; this proves absence.
+func VerifyExhaustive(w Workload, cfg ExhaustConfig) (*ExhaustResult, error) {
+	return exhaust.Verify(w, cfg)
 }
 
 // --- Observability (structured telemetry) ---
