@@ -1,0 +1,152 @@
+package nlft
+
+// Benchmark for the adaptive stratified sampling engine. Running
+//
+//	BENCH_ADAPTIVE_JSON=BENCH_adaptive.json go test -run=NONE -bench=CampaignAdaptive .
+//
+// writes the measured numbers to the named file; without the variable
+// the benchmark only reports metrics. The headline figure is the
+// trials-to-target reduction: how many sampled trials the adaptive
+// engine needs to pin P(FailSilent) inside a fixed 95% CI width on the
+// gate configuration, against how many a uniform campaign needs for
+// the same width. Both counts are deterministic for the fixed seeds
+// (trial outcomes are independent of worker count), so the reduction
+// is a stable artifact, not a timing.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// benchAdaptiveWidth is the target 95% CI width on P(FailSilent).
+const benchAdaptiveWidth = 0.01
+
+type benchAdaptiveDoc struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Outcome    string  `json:"outcome"`
+	CIWidth    float64 `json:"ci_width_target"`
+
+	AdaptiveTrials int     `json:"adaptive_trials"`
+	AdaptiveRounds int     `json:"adaptive_rounds"`
+	AdaptiveStrata int     `json:"adaptive_strata"`
+	AdaptiveP      float64 `json:"adaptive_p"`
+	AdaptiveLo     float64 `json:"adaptive_lo"`
+	AdaptiveHi     float64 `json:"adaptive_hi"`
+	AdaptiveNs     float64 `json:"adaptive_ns_per_campaign"`
+
+	UniformTrials  int     `json:"uniform_trials_to_width"`
+	UniformP       float64 `json:"uniform_p"`
+	UniformNsTrial float64 `json:"uniform_ns_per_trial"`
+
+	TrialsReduction  float64 `json:"trials_reduction"`
+	WallClockSpeedup float64 `json:"wall_clock_speedup"`
+}
+
+var benchAdaptiveOut struct {
+	mu  sync.Mutex
+	doc *benchAdaptiveDoc
+}
+
+// emitBenchAdaptive returns the accumulated document (nil if the
+// benchmark did not run).
+func emitBenchAdaptive() *benchAdaptiveDoc {
+	benchAdaptiveOut.mu.Lock()
+	defer benchAdaptiveOut.mu.Unlock()
+	return benchAdaptiveOut.doc
+}
+
+// uniformTrialsToWidth finds the smallest trial-count prefix of a
+// uniform campaign whose Wilson CI for P(FailSilent) is narrower than
+// the target — the trials a width-driven uniform campaign would have
+// consumed. Scanning prefixes of one large campaign is equivalent to
+// re-running ever-larger campaigns (trial i's stream depends only on
+// (Seed, i)) and much cheaper.
+func uniformTrialsToWidth(b *testing.B, w fault.Workload, trials int, width float64) (int, float64) {
+	res, err := fault.Run(w, fault.CampaignConfig{Trials: trials, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hits := 0
+	for n, rec := range res.Trials {
+		if rec.Outcome == fault.FailSilent {
+			hits++
+		}
+		if n+1 >= 100 { // below ~100 trials the interval is vacuously wide
+			if p := stats.NewProportion(hits, n+1); p.Hi-p.Lo <= width {
+				return n + 1, p.P
+			}
+		}
+	}
+	b.Fatalf("uniform campaign of %d trials never reached CI width %v", trials, width)
+	return 0, 0
+}
+
+// BenchmarkCampaignAdaptive measures the adaptive engine's effective
+// throughput on the gate configuration: sampled trials (and wall
+// clock) to pin P(FailSilent) within a 0.01-wide 95% interval, versus
+// a uniform campaign reaching the same width.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	w := fault.NewStdWorkload(fault.StdWorkloadConfig{ECC: true, Periods: 3, Compute: 16})
+	cfg := adapt.Config{
+		Seed:      42,
+		RoundSize: 128,
+		MaxTrials: 20000,
+		CIWidth:   benchAdaptiveWidth,
+		CIOutcome: fault.FailSilent,
+	}
+	var res *adapt.Result
+	b.Run("adaptive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = adapt.Run(w, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if res.StopReason != "ci-width" {
+			b.Fatalf("stop = %q after %d trials, want ci-width", res.StopReason, res.Trials)
+		}
+		adaptiveNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(res.Trials), "trials-to-width")
+
+		// The uniform reference runs once outside the timed loop; its
+		// per-trial cost is measured to derive the wall-clock speedup.
+		uniStart := time.Now()
+		uniTrials, uniP := uniformTrialsToWidth(b, w, 12000, benchAdaptiveWidth)
+		uniNs := float64(time.Since(uniStart).Nanoseconds()) / 12000
+		reduction := float64(uniTrials) / float64(res.Trials)
+		b.ReportMetric(reduction, "trials-reduction")
+
+		est := res.Estimate(fault.FailSilent)
+		benchAdaptiveOut.mu.Lock()
+		benchAdaptiveOut.doc = &benchAdaptiveDoc{
+			GoVersion:        runtime.Version(),
+			GOMAXPROCS:       runtime.GOMAXPROCS(0),
+			NumCPU:           runtime.NumCPU(),
+			Outcome:          fault.FailSilent.String(),
+			CIWidth:          benchAdaptiveWidth,
+			AdaptiveTrials:   res.Trials,
+			AdaptiveRounds:   res.Rounds,
+			AdaptiveStrata:   len(res.Strata),
+			AdaptiveP:        est.P,
+			AdaptiveLo:       est.Lo,
+			AdaptiveHi:       est.Hi,
+			AdaptiveNs:       adaptiveNs,
+			UniformTrials:    uniTrials,
+			UniformP:         uniP,
+			UniformNsTrial:   uniNs,
+			TrialsReduction:  reduction,
+			WallClockSpeedup: uniNs * float64(uniTrials) / adaptiveNs,
+		}
+		benchAdaptiveOut.mu.Unlock()
+	})
+}

@@ -107,6 +107,20 @@ func TestMain(m *testing.M) {
 			}
 		}
 	}
+	if path := os.Getenv("BENCH_ADAPTIVE_JSON"); path != "" {
+		if doc := emitBenchAdaptive(); doc != nil {
+			out, err := json.MarshalIndent(doc, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, append(out, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "BENCH_ADAPTIVE_JSON:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}
 	if path := os.Getenv("BENCH_EXHAUST_JSON"); path != "" {
 		if doc := emitBenchExhaust(); doc != nil {
 			out, err := json.MarshalIndent(doc, "", "  ")

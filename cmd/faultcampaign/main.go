@@ -10,6 +10,16 @@
 //	              [-metrics-out file] [-trace-out file]
 //	              [-no-fork] [-snapshot-interval d] [-snapshot-stats]
 //	              [-converge-cutoff=false]
+//	              [-adaptive] [-strata N] [-ci-width f] [-ci-outcome o] [-max-trials N]
+//
+// -adaptive replaces uniform sampling with the adaptive stratified
+// engine (internal/adapt): the fault space is stratified by (target ×
+// time bucket), rounds are allocated by Neyman scores, dominant strata
+// split on the time axis, and the analytically known branches (the
+// modelled kernel-hit coin and the golden run's kernel-activity
+// windows) enter the estimates exactly, costing no trials. -ci-width
+// stops once the chosen outcome's 95% interval is narrow enough;
+// -progress reports each round's allocation on stderr.
 //
 // -metrics-out enables campaign telemetry and exports the merged metrics
 // registry (JSON, or CSV if the name ends in .csv); the per-mechanism
@@ -63,6 +73,11 @@ func main() {
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "fork checkpoint spacing (0 = default 250µs, or the workload's hint when finer)")
 	snapshotStats := flag.Bool("snapshot-stats", false, "report the fork engine's checkpoint-store traffic (delta vs full-image bytes, pages copied/restored)")
 	convergeCutoff := flag.Bool("converge-cutoff", true, "stop a forked trial early once its state digest reconverges with the golden run (classification-only campaigns)")
+	adaptive := flag.Bool("adaptive", false, "use the adaptive stratified sampling engine: Neyman allocation over (target × time) strata with importance splitting; -trials is ignored (see -max-trials, -ci-width)")
+	strata := flag.Int("strata", 0, "base time buckets per target for -adaptive (0 = default 4); splitting refines below this grid")
+	ciWidth := flag.Float64("ci-width", 0, "stop an -adaptive campaign once the 95% CI for -ci-outcome is narrower than this full width (0 = run to -max-trials)")
+	ciOutcome := flag.String("ci-outcome", "fail-silent", "outcome whose estimate drives -ci-width and the adaptive allocation")
+	maxTrials := flag.Int("max-trials", 0, "sampled-trial cap for -adaptive (0 = default 100000)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -88,6 +103,11 @@ func main() {
 		NoConvergeCutoff: !*convergeCutoff,
 		Exhaustive:       *exhaustive,
 		Quantum:          nlft.Time(*quantum),
+		Adaptive:         *adaptive,
+		Strata:           *strata,
+		CIWidth:          *ciWidth,
+		CIOutcome:        *ciOutcome,
+		MaxTrials:        *maxTrials,
 	}
 	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel, opts); err != nil {
 		pprof.StopCPUProfile()
@@ -125,6 +145,55 @@ type outputOptions struct {
 	NoConvergeCutoff bool
 	Exhaustive       bool
 	Quantum          nlft.Time
+	Adaptive         bool
+	Strata           int
+	CIWidth          float64
+	CIOutcome        string
+	MaxTrials        int
+}
+
+// parseOutcome resolves an outcome by its String name.
+func parseOutcome(name string) (fault.Outcome, error) {
+	for _, o := range fault.AllOutcomes() {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown outcome %q (want one of not-activated, masked, omission, fail-silent, value-failure)", name)
+}
+
+// runAdaptive runs the adaptive stratified campaign and reports the
+// per-stratum allocation alongside the usual parameter estimates.
+func runAdaptive(w nlft.Workload, seed uint64, targets []fault.Target, parallel int, opts outputOptions) error {
+	outcome, err := parseOutcome(opts.CIOutcome)
+	if err != nil {
+		return err
+	}
+	cfg := nlft.AdaptiveConfig{
+		Seed:             seed,
+		Targets:          targets,
+		Buckets:          opts.Strata,
+		MaxTrials:        opts.MaxTrials,
+		CIWidth:          opts.CIWidth,
+		CIOutcome:        outcome,
+		Parallelism:      parallel,
+		NoFork:           opts.NoFork,
+		SnapshotInterval: opts.SnapshotInterval,
+	}
+	if opts.Progress {
+		cfg.OnRound = func(ri nlft.AdaptiveRoundInfo) {
+			fmt.Fprintf(os.Stderr, "round %d: +%d trials (%d total), %d strata, P(%v) = %v\n",
+				ri.Round, ri.Allocated, ri.Trials, ri.Strata, outcome, ri.Estimate)
+		}
+	}
+	res, err := nlft.RunAdaptiveCampaign(w, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	fmt.Println("\nper-stratum allocation:")
+	fmt.Print(res.StrataTable())
+	return nil
 }
 
 func parseTargets(spec string) ([]fault.Target, error) {
@@ -152,6 +221,9 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 		return err
 	}
 	w := nlft.NewStdWorkload(nlft.StdWorkloadConfig{ECC: ecc, Compute: compute})
+	if opts.Adaptive {
+		return runAdaptive(w, seed, targets, parallel, opts)
+	}
 	cfg := nlft.CampaignConfig{
 		Trials: trials, Seed: seed, Targets: targets, Parallelism: parallel,
 		Telemetry:        opts.MetricsOut != "",

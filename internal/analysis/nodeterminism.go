@@ -20,6 +20,7 @@ var simPackages = []string{
 	"internal/cpu",
 	"internal/obs",
 	"internal/exhaust",
+	"internal/adapt",
 }
 
 // isSimPackage reports whether the import path belongs to the

@@ -21,8 +21,9 @@ var RNGStream = &Analyzer{
 }
 
 // rngScopedPackages are the import-path segments in which the check
-// applies: trial distribution and the CLI layers that seed it.
-var rngScopedPackages = []string{"internal/fault", "cmd"}
+// applies: trial distribution (uniform and adaptive) and the CLI
+// layers that seed it.
+var rngScopedPackages = []string{"internal/fault", "internal/adapt", "cmd"}
 
 func isRNGScoped(path string) bool {
 	for _, s := range rngScopedPackages {

@@ -22,9 +22,11 @@ func TestIsRNGScoped(t *testing.T) {
 		want bool
 	}{
 		{"repro/internal/fault", true},
+		{"repro/internal/adapt", true},
 		{"repro/cmd/faultcampaign", true},
 		{"repro/internal/node", false},
 		{"repro/internal/faulttree", false},
+		{"repro/internal/adaptive", false},
 		{"cmd", true},
 	}
 	for _, c := range cases {

@@ -13,6 +13,12 @@ func perTrial(seed uint64, trial int) *des.Rand {
 	return des.NewRandIndexed(seed, uint64(trial))
 }
 
+// perStratumTrial is the adaptive campaign's sanctioned seam: a pure
+// function of (seed, stratum key, within-stratum index).
+func perStratumTrial(seed, key uint64, idx int) *des.Rand {
+	return des.NewRandIndexed2(seed, key, uint64(idx))
+}
+
 func rootStream(seed uint64) *des.Rand {
 	return des.NewRand(seed) // want `des\.NewRand in campaign/worker code`
 }

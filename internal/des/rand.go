@@ -54,6 +54,23 @@ func NewRandIndexed(seed, idx uint64) *Rand {
 	return NewRand(mix64(seed+0x9e3779b97f4a7c15) ^ mix64(idx+0x6a09e667f3bcc909))
 }
 
+// NewRandIndexed2 returns the (stream, idx)-th member of the
+// two-level stream family identified by seed — the NewRandIndexed
+// discipline extended one level, for consumers that partition their
+// draws twice (the adaptive campaign engine keys every trial's stream
+// by (seed, stratum, within-stratum index)). Like NewRandIndexed, the
+// result is a pure function of its arguments: no draw order or shared
+// state is involved, so any scheduling of (stream, idx) pairs across
+// workers replays the sequential derivation exactly. All three
+// arguments are avalanche-mixed independently before combination, so
+// families differing in one coordinate stay decorrelated, and
+// NewRandIndexed2(seed, s, i) never collides structurally with
+// NewRandIndexed(seed, i) (distinct additive constants).
+func NewRandIndexed2(seed, stream, idx uint64) *Rand {
+	return NewRand(mix64(seed+0x9e3779b97f4a7c15) ^
+		mix64(stream+0xbb67ae8584caa73b) ^ mix64(idx+0x6a09e667f3bcc909))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -237,8 +237,7 @@ func (r *Result) Detected() int {
 func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign: %d trials, seed %d\n", r.Config.Trials, r.Config.Seed)
-	outcomes := []Outcome{NotActivated, Masked, Omission, FailSilent, ValueFailure}
-	for _, o := range outcomes {
+	for _, o := range AllOutcomes() {
 		fmt.Fprintf(&b, "  %-14s %6d\n", o.String()+":", r.Counts[o])
 	}
 	fmt.Fprintf(&b, "  activated: %d, detected: %d\n", r.Activated(), r.Detected())
@@ -259,50 +258,56 @@ func (r *Result) Summary() string {
 }
 
 // tally is one worker's private aggregation; tallies are merged after
-// the pool drains so no lock sits on the per-trial hot path. All merges
-// are pure additions, so the merge order cannot influence the result.
+// the pool drains so no lock sits on the per-trial hot path. Outcome
+// and per-target counters are flat arrays indexed by the enum values
+// (valid Outcomes/Targets start at 1, so slot 0 stays unused): the
+// per-trial record path touches no map buckets or hash functions, and
+// the merge walks array slots in index order, which is already the
+// canonical (declaration) order — no map iteration to neutralize.
+// Only the mechanism tally stays a map (mechanism names are an open
+// string set). All merges are pure additions, so the merge order
+// cannot influence the result.
 type tally struct {
-	counts      map[Outcome]int
+	counts      [NumOutcomes + 1]int
+	byTarget    [NumTargets + 1][NumOutcomes + 1]int
 	byMechanism map[string]int
-	byTarget    map[Target]map[Outcome]int
 }
 
 func newTally() *tally {
-	return &tally{
-		counts:      make(map[Outcome]int),
-		byMechanism: make(map[string]int),
-		byTarget:    make(map[Target]map[Outcome]int),
-	}
+	return &tally{byMechanism: make(map[string]int)}
 }
 
 func (t *tally) record(rec *TrialRecord) {
 	t.counts[rec.Outcome]++
-	if t.byTarget[rec.Fault.Target] == nil {
-		t.byTarget[rec.Fault.Target] = make(map[Outcome]int)
-	}
 	t.byTarget[rec.Fault.Target][rec.Outcome]++
 	for _, m := range rec.Mechanisms {
 		t.byMechanism[m]++
 	}
 }
 
+// mergeInto adds the worker's tally to the Result's exported maps,
+// skipping empty slots so the map contents (and thus every digest or
+// report derived from them) match what the per-outcome map tallies
+// used to produce.
 func (t *tally) mergeInto(res *Result) {
-	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 	for o, n := range t.counts {
-		res.Counts[o] += n
+		if n > 0 {
+			res.Counts[Outcome(o)] += n
+		}
 	}
 	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 	for m, n := range t.byMechanism {
 		res.ByMechanism[m] += n
 	}
-	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 	for target, counts := range t.byTarget {
-		if res.ByTarget[target] == nil {
-			res.ByTarget[target] = make(map[Outcome]int)
-		}
-		//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
 		for o, n := range counts {
-			res.ByTarget[target][o] += n
+			if n == 0 {
+				continue
+			}
+			if res.ByTarget[Target(target)] == nil {
+				res.ByTarget[Target(target)] = make(map[Outcome]int)
+			}
+			res.ByTarget[Target(target)][Outcome(o)] += n
 		}
 	}
 }
@@ -576,7 +581,39 @@ func drawFault(w Workload, cfg CampaignConfig, rng *des.Rand) Fault {
 	at := start + des.Time(rng.Intn(int(end-start)))
 	target := cfg.Targets[rng.Intn(len(cfg.Targets))]
 	f := Fault{At: at, Target: target}
-	switch target {
+	drawLocus(w, &f, rng)
+	return f
+}
+
+// DrawFaultIn draws a fault for a fixed target with its injection
+// instant uniform in the half-open window [start, end) — the adaptive
+// campaign's per-stratum sampler (internal/adapt), whose strata fix
+// the (target, window) pair and randomize only instant and locus. The
+// instant is drawn first and the locus fields after, mirroring
+// drawFault's order, and the locus draws are the same Intn sequence,
+// so a one-stratum configuration consumes its stream exactly like the
+// uniform sampler does.
+func DrawFaultIn(w Workload, target Target, start, end des.Time, rng *des.Rand) Fault {
+	at := start + des.Time(rng.Intn(int(end-start)))
+	return DrawFaultAt(w, target, at, rng)
+}
+
+// DrawFaultAt draws the locus fields for a fault at a fixed instant —
+// for samplers that choose the instant themselves (the adaptive
+// campaign draws it uniform over a stratum's kernel-activity-free
+// sub-intervals). The locus draws are the same Intn sequence
+// DrawFaultIn performs after its instant draw.
+func DrawFaultAt(w Workload, target Target, at des.Time, rng *des.Rand) Fault {
+	f := Fault{At: at, Target: target}
+	drawLocus(w, &f, rng)
+	return f
+}
+
+// drawLocus fills the target-specific locus fields of f. Draw order
+// per target is pinned by the campaign digest tests: any change would
+// shift every subsequent draw on the trial's stream.
+func drawLocus(w Workload, f *Fault, rng *des.Rand) {
+	switch f.Target {
 	case TargetRegister:
 		f.Reg = rng.Intn(13) + 1 // r1..r13: live computation registers
 		f.Bit = uint(rng.Intn(32))
@@ -593,7 +630,6 @@ func drawFault(w Workload, cfg CampaignConfig, rng *des.Rand) Fault {
 		f.Addr = base + uint32(rng.Intn(int(words)))*4
 		f.Bit = uint(rng.Intn(32))
 	}
-	return f
 }
 
 // ApplyFault injects f into a live instance, exactly as a campaign

@@ -54,6 +54,11 @@ func (t Target) String() string {
 	}
 }
 
+// NumTargets is the number of injectable targets; valid Target values
+// are 1..NumTargets, so a [NumTargets + 1]T array indexes directly by
+// Target (guarded by TestEnumCardinalities).
+const NumTargets = int(TargetMemoryCode)
+
 // AllTargets lists every injectable target.
 func AllTargets() []Target {
 	return []Target{TargetRegister, TargetPC, TargetSP, TargetALU,
@@ -112,6 +117,16 @@ const (
 	// (a non-covered error — the dangerous case).
 	ValueFailure
 )
+
+// NumOutcomes is the number of outcome classes; valid Outcome values
+// are 1..NumOutcomes, so a [NumOutcomes + 1]T array indexes directly by
+// Outcome (guarded by TestEnumCardinalities).
+const NumOutcomes = int(ValueFailure)
+
+// AllOutcomes lists every outcome class, in declaration (report) order.
+func AllOutcomes() []Outcome {
+	return []Outcome{NotActivated, Masked, Omission, FailSilent, ValueFailure}
+}
 
 // String names the outcome.
 func (o Outcome) String() string {

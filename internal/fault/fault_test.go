@@ -26,6 +26,55 @@ func TestGoldenRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestEnumCardinalities pins NumTargets/NumOutcomes to the enum
+// listings: the array-indexed campaign tallies and the adaptive
+// engine's per-outcome counters size their arrays from these
+// constants, so a new Target or Outcome must bump them (and valid
+// values must stay the contiguous range 1..N).
+func TestEnumCardinalities(t *testing.T) {
+	targets := AllTargets()
+	if len(targets) != NumTargets {
+		t.Errorf("NumTargets = %d, AllTargets lists %d", NumTargets, len(targets))
+	}
+	for i, tg := range targets {
+		if int(tg) != i+1 {
+			t.Errorf("AllTargets[%d] = %d, want contiguous value %d", i, int(tg), i+1)
+		}
+	}
+	outcomes := AllOutcomes()
+	if len(outcomes) != NumOutcomes {
+		t.Errorf("NumOutcomes = %d, AllOutcomes lists %d", NumOutcomes, len(outcomes))
+	}
+	for i, o := range outcomes {
+		if int(o) != i+1 {
+			t.Errorf("AllOutcomes[%d] = %d, want contiguous value %d", i, int(o), i+1)
+		}
+	}
+}
+
+// TestDrawFaultInWindow pins the stratum sampler's contract: the
+// instant stays inside the half-open window, the target is the fixed
+// one, and a width-1 window always yields its single instant (the
+// end can never be drawn, matching drawFault's half-open convention).
+func TestDrawFaultInWindow(t *testing.T) {
+	w := NewStdWorkload(StdWorkloadConfig{})
+	start, end := w.InjectionWindow()
+	mid := start + (end-start)/2
+	for _, target := range AllTargets() {
+		for i := 0; i < 200; i++ {
+			rng := des.NewRandIndexed2(9, uint64(target), uint64(i))
+			f := DrawFaultIn(w, target, mid, end, rng)
+			if f.Target != target || f.At < mid || f.At >= end {
+				t.Fatalf("%v trial %d: fault %+v outside [%v, %v)", target, i, f, mid, end)
+			}
+		}
+		rng := des.NewRandIndexed2(9, uint64(target), 999)
+		if f := DrawFaultIn(w, target, mid, mid+1, rng); f.At != mid {
+			t.Errorf("%v: width-1 window drew %v, want %v", target, f.At, mid)
+		}
+	}
+}
+
 func TestSubsequenceHelpers(t *testing.T) {
 	a := []Write{{1, 1}, {1, 2}, {1, 3}}
 	if !isSubsequence([]Write{{1, 1}, {1, 3}}, a) {

@@ -28,6 +28,7 @@ type ForkSession struct {
 	golden       []Write
 	goldenEvents []obs.Event
 	horizon      des.Time
+	runner       *forkWorker
 }
 
 // NewForkSession builds an instance, captures golden-prefix checkpoints
@@ -118,3 +119,65 @@ func (s *ForkSession) Restore(k int) {
 //
 //nlft:noalloc
 func (s *ForkSession) Digest() uint64 { return s.Inst.Kernel.ForwardDigest(des.Event{}) }
+
+// TrialSpec is one externally planned trial: the fault plus the
+// campaign's modelled kernel-coin decisions. Both flags are false for
+// coin-free populations — the exhaustive verifier's placements, or the
+// adaptive campaign's sampled strata, whose kernel-coin branch is
+// carried analytically as an exact stratum instead of being simulated.
+type TrialSpec struct {
+	Fault          Fault
+	KernelHit      bool
+	KernelDetected bool
+}
+
+// RunTrial executes one forked trial of spec on the session's
+// instance: restore the latest sound checkpoint before the fault, swap
+// the phantom for the real injection, run (with the convergence cutoff
+// when the session carries no collector — a collector's suffix events
+// cannot be skipped), and classify. The decision tree, checkpoint
+// selection, and classification are the campaign engine's own
+// (fork.go), so the record is bit-identical to what a campaign trial
+// of the same plan would produce.
+func (s *ForkSession) RunTrial(spec TrialSpec) (TrialRecord, error) {
+	if s.runner == nil {
+		fw := &forkWorker{
+			inst:    s.Inst,
+			col:     s.Col,
+			cs:      s.cs,
+			golden:  s.golden,
+			horizon: s.horizon,
+			cutoff:  s.Col == nil,
+		}
+		fw.injectFn = func() { fw.inject() }
+		fw.checkFn = func() { fw.checkConvergence() }
+		s.runner = fw
+	}
+	return s.runner.runTrial(trialPlan{
+		fault:          spec.Fault,
+		kernelHit:      spec.KernelHit,
+		kernelDetected: spec.KernelDetected,
+		ckpt:           s.cs.selectFor(spec.Fault.At),
+	})
+}
+
+// GoldenWrites executes the workload fault-free and returns its output
+// sequence — the classification reference for externally planned
+// scratch trials (RunScratchTrial).
+func GoldenWrites(w Workload) ([]Write, error) { return goldenRun(w, nil) }
+
+// ScratchRunner executes externally planned trials from t=0 with no
+// fork machinery — the NoFork path for the adaptive campaign. The
+// zero value is ready to use; reuse one runner per worker so trial
+// scratch buffers amortize.
+type ScratchRunner struct {
+	scratch trialScratch
+}
+
+// RunTrial executes one trial of spec from scratch and classifies it
+// against golden, exactly as a NoFork campaign trial runs.
+func (r *ScratchRunner) RunTrial(w Workload, spec TrialSpec, golden []Write) (TrialRecord, error) {
+	plan := trialPlan{fault: spec.Fault, kernelHit: spec.KernelHit,
+		kernelDetected: spec.KernelDetected}
+	return runTrial(w, CampaignConfig{}, plan, golden, &r.scratch, nil)
+}

@@ -177,6 +177,12 @@ type Kernel struct {
 	OnOutcome func(OutcomeInfo)
 	// OnFailSilent, when set, observes node shutdown.
 	OnFailSilent func(at des.Time, reason string)
+	// OnContextSwitch, when set, observes every context switch with the
+	// half-open window [start, end) during which the kernel occupies the
+	// processor (Activity reports ActivityKernel strictly inside it).
+	// The hook is passive — it is not part of the snapshot state and
+	// must not mutate the kernel.
+	OnContextSwitch func(start, end des.Time)
 
 	dispatchPending bool
 	// dispatchFn is the bound dispatch callback, created once so
@@ -637,6 +643,9 @@ func (k *Kernel) dispatch() {
 			k.obsKernelCycles.Add(k.cfg.SwitchCycles)
 		}
 		k.kernelBusyUntil = k.sim.Now() + des.Time(k.cfg.SwitchCycles)*k.cyclePeriod
+		if k.OnContextSwitch != nil {
+			k.OnContextSwitch(k.sim.Now(), k.kernelBusyUntil)
+		}
 		best.chainEvent = k.sim.Schedule(k.kernelBusyUntil, des.PrioDispatch, best.runSliceFn)
 		return
 	}

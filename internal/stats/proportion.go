@@ -17,6 +17,30 @@ type Proportion struct {
 	Lo, Hi float64
 }
 
+// z95 is the 97.5th percentile of the standard normal: the critical
+// value all 95% intervals in this package share.
+const z95 = 1.959963984540054
+
+// wilson computes the 95% Wilson score interval for point estimate p at
+// sample size n. n may be fractional: the stratified estimator feeds an
+// effective sample size through the same formula, so a one-stratum
+// stratified interval is bit-equal to the plain one.
+func wilson(p, n float64) (lo, hi float64) {
+	z2 := z95 * z95
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z95 / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // NewProportion computes the Wilson score interval (95%) for hits/trials.
 // The Wilson interval behaves sensibly near 0 and 1, where coverage
 // estimates live.
@@ -24,21 +48,9 @@ func NewProportion(hits, trials int) Proportion {
 	if trials <= 0 {
 		return Proportion{Hits: hits, Trials: trials}
 	}
-	const z = 1.959963984540054 // 97.5th percentile of the standard normal
 	n := float64(trials)
 	p := float64(hits) / n
-	z2 := z * z
-	denom := 1 + z2/n
-	center := (p + z2/(2*n)) / denom
-	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
-	lo := center - half
-	hi := center + half
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > 1 {
-		hi = 1
-	}
+	lo, hi := wilson(p, n)
 	return Proportion{Hits: hits, Trials: trials, P: p, Lo: lo, Hi: hi}
 }
 

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stratum is one stratum's contribution to a stratified estimate.
+// Weights are the strata's shares of the sampled population and should
+// sum to 1 across the slice; within each stratum the Hits/Trials tally
+// is an iid sample of that stratum's conditional distribution.
+type Stratum struct {
+	// Weight is the stratum's probability mass under the target
+	// (uniform-sampling) distribution.
+	Weight float64
+	// Hits and Trials are the stratum's sampled tally (ignored when
+	// Exact is set).
+	Hits, Trials int
+	// Exact marks a stratum whose proportion is known in closed form —
+	// e.g. the campaign's modelled kernel-hit branch, whose conditional
+	// outcome distribution needs no simulation. An exact stratum
+	// contributes Weight·P to the point estimate and nothing to the
+	// variance (Rao-Blackwellization).
+	Exact bool
+	// P is the known proportion of an Exact stratum.
+	P float64
+}
+
+// StratifiedEstimate is a probability estimated over a stratified
+// sample: the weighted point estimate, the estimator variance, a 95%
+// interval, and the effective sample size the interval corresponds to.
+type StratifiedEstimate struct {
+	// P is the weighted point estimate Σ wₛ·p̂ₛ (exact strata contribute
+	// their known wₛ·pₛ).
+	P float64
+	// Var is the estimator variance Σ wₛ²·p̂ₛ(1−p̂ₛ)/nₛ over sampled
+	// strata (exact strata contribute zero).
+	Var float64
+	// Lo and Hi bound the 95% interval (Wilson over the sampled mass at
+	// the effective sample size, shifted by the exact mass; one sampled
+	// stratum of weight 1 degenerates to the plain Wilson interval).
+	Lo, Hi float64
+	// EffN is the effective sample size of the sampled mass,
+	// p̂(1−p̂)/Var over the conditional (renormalized) strata: the
+	// uniform-sample count whose binomial estimator would match its
+	// variance.
+	EffN float64
+	// Trials is the raw sampled trial count summed over strata.
+	Trials int
+}
+
+// HalfWidth is the interval half-width, the auto-stop criterion of the
+// adaptive campaign driver.
+func (e StratifiedEstimate) HalfWidth() float64 { return (e.Hi - e.Lo) / 2 }
+
+// String renders the estimate as "p [lo, hi] (neff~N of T)".
+func (e StratifiedEstimate) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (neff %.0f of %d)", e.P, e.Lo, e.Hi, e.EffN, e.Trials)
+}
+
+// Stratified combines per-stratum tallies into one estimate.
+//
+// Exact strata carry no sampling uncertainty, so they enter as an
+// affine shift: with exact mass e = Σ wₛ·pₛ over exact strata and
+// sampled mass W = Σ wₛ over the rest, the estimate is
+// e + W·p̂_c with interval [e + W·lo_c, e + W·hi_c], where p̂_c and
+// [lo_c, hi_c] are the stratified estimate and interval of the
+// CONDITIONAL proportion over the sampled mass (weights renormalized
+// by W). Folding the exact mass into the interval computation instead
+// would charge the known branch for uncertainty it does not have —
+// exactly the variance the adaptive campaign's Rao-Blackwellized
+// kernel-coin stratum exists to remove.
+//
+// A sampled stratum with zero trials contributes its worst-case
+// variance ((wₛ/W)²·¼, a single Bernoulli draw at p=½) so an
+// unexplored stratum can only widen the interval, never silently
+// tighten it; the adaptive driver's per-stratum allocation floors make
+// this a transient state.
+//
+// The conditional interval is a Wilson score interval evaluated at the
+// effective sample size n_eff = p̂_c(1−p̂_c)/Var_c. With a single
+// sampled stratum of weight 1 the variance is exactly p̂(1−p̂)/n, so
+// n_eff = n and the interval IS the plain Wilson interval (guarded by
+// TestStratifiedDegeneratesToWilson). When the variance or p̂_c(1−p̂_c)
+// degenerates to zero (all-zero or all-one tallies), the raw trial
+// count is used instead — again matching the plain Wilson interval in
+// the one-stratum case.
+func Stratified(strata []Stratum) StratifiedEstimate {
+	var est StratifiedEstimate
+	var exactP, sampledW float64
+	for _, s := range strata {
+		if s.Exact {
+			exactP += s.Weight * s.P
+			continue
+		}
+		sampledW += s.Weight
+		est.Trials += s.Trials
+	}
+	if sampledW <= 0 {
+		// Only exact strata: a width-zero interval at the known value.
+		est.P, est.Lo, est.Hi = exactP, exactP, exactP
+		return est
+	}
+	var pc, varc float64
+	for _, s := range strata {
+		if s.Exact {
+			continue
+		}
+		ws := s.Weight / sampledW
+		if s.Trials <= 0 {
+			varc += ws * ws * 0.25
+			continue
+		}
+		ps := float64(s.Hits) / float64(s.Trials)
+		pc += ws * ps
+		varc += ws * ws * ps * (1 - ps) / float64(s.Trials)
+	}
+	pq := pc * (1 - pc)
+	switch {
+	case varc > 0 && pq > 0:
+		est.EffN = pq / varc
+	default:
+		est.EffN = float64(est.Trials)
+	}
+	lo, hi := 0.0, 1.0
+	if est.EffN <= 0 || math.IsNaN(est.EffN) || math.IsInf(est.EffN, 0) {
+		// Nothing sampled at all: the only honest conditional interval
+		// is vacuous.
+		est.EffN = 0
+	} else {
+		lo, hi = wilson(pc, est.EffN)
+	}
+	est.P = exactP + sampledW*pc
+	est.Var = sampledW * sampledW * varc
+	est.Lo = exactP + sampledW*lo
+	est.Hi = exactP + sampledW*hi
+	return est
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonEdgeCases(t *testing.T) {
+	// hits=0: the interval must pin its lower bound at 0 but keep a
+	// positive upper bound (zero observed successes never proves zero).
+	p := NewProportion(0, 50)
+	if p.P != 0 || p.Lo != 0 {
+		t.Errorf("hits=0: P=%v Lo=%v, want both 0", p.P, p.Lo)
+	}
+	if !(p.Hi > 0 && p.Hi < 0.15) {
+		t.Errorf("hits=0 n=50: Hi=%v, want small positive", p.Hi)
+	}
+	// hits=trials: mirror image.
+	p = NewProportion(50, 50)
+	if p.P != 1 || p.Hi != 1 {
+		t.Errorf("hits=trials: P=%v Hi=%v, want both 1", p.P, p.Hi)
+	}
+	if !(p.Lo < 1 && p.Lo > 0.85) {
+		t.Errorf("hits=trials n=50: Lo=%v, want just under 1", p.Lo)
+	}
+	// trials=0: no data, zero-valued estimate (documented contract).
+	p = NewProportion(0, 0)
+	if p.P != 0 || p.Lo != 0 || p.Hi != 0 {
+		t.Errorf("trials=0: got %+v, want zero value", p)
+	}
+	// trials=1: a single Bernoulli draw must produce a near-vacuous but
+	// well-ordered interval either way.
+	for _, h := range []int{0, 1} {
+		p = NewProportion(h, 1)
+		if p.Lo < 0 || p.Hi > 1 || p.Lo > p.Hi {
+			t.Errorf("trials=1 hits=%d: [%v, %v] ill-formed", h, p.Lo, p.Hi)
+		}
+		if p.Hi-p.Lo < 0.5 {
+			t.Errorf("trials=1 hits=%d: width %v implausibly tight", h, p.Hi-p.Lo)
+		}
+	}
+	// Symmetry: hits=0 and hits=trials intervals mirror around 1/2.
+	lo0 := NewProportion(0, 37)
+	hi1 := NewProportion(37, 37)
+	if math.Abs(lo0.Hi-(1-hi1.Lo)) > 1e-12 {
+		t.Errorf("edge intervals not mirrored: %v vs %v", lo0.Hi, 1-hi1.Lo)
+	}
+}
+
+// TestStratifiedDegeneratesToWilson is the property the ISSUE pins: the
+// stratified interval over a single stratum of weight 1 must reproduce
+// the plain Wilson interval, hits and edge cases included.
+func TestStratifiedDegeneratesToWilson(t *testing.T) {
+	check := func(hRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		h := int(hRaw) % (n + 1)
+		want := NewProportion(h, n)
+		got := Stratified([]Stratum{{Weight: 1, Hits: h, Trials: n}})
+		const tol = 1e-9
+		return math.Abs(got.P-want.P) < tol &&
+			math.Abs(got.Lo-want.Lo) < tol &&
+			math.Abs(got.Hi-want.Hi) < tol &&
+			math.Abs(got.EffN-float64(n)) < tol*float64(n)+tol &&
+			got.Trials == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStratifiedExactStratum(t *testing.T) {
+	// An exact stratum moves the point estimate without variance: the
+	// modelled kernel-hit branch of the adaptive campaign.
+	e := Stratified([]Stratum{
+		{Weight: 0.05, Exact: true, P: 0.98},
+		{Weight: 0.95, Hits: 0, Trials: 400},
+	})
+	want := 0.05 * 0.98
+	if math.Abs(e.P-want) > 1e-12 {
+		t.Errorf("P = %v, want %v", e.P, want)
+	}
+	if !(e.Lo <= want && want <= e.Hi) {
+		t.Errorf("interval [%v, %v] excludes the point estimate %v", e.Lo, e.Hi, want)
+	}
+	// All-exact strata: a width-zero interval at the known value.
+	e = Stratified([]Stratum{{Weight: 1, Exact: true, P: 0.3}})
+	if e.P != 0.3 || e.Lo != 0.3 || e.Hi != 0.3 {
+		t.Errorf("exact-only estimate %+v, want degenerate at 0.3", e)
+	}
+}
+
+func TestStratifiedVarianceReduction(t *testing.T) {
+	// Two strata with wildly different rates: the stratified variance
+	// must undercut the pooled binomial variance at the same total n
+	// (the between-strata component is eliminated by design).
+	a := Stratum{Weight: 0.5, Hits: 0, Trials: 200}
+	b := Stratum{Weight: 0.5, Hits: 100, Trials: 200}
+	e := Stratified([]Stratum{a, b})
+	pooled := NewProportion(100, 400)
+	if math.Abs(e.P-0.25) > 1e-12 {
+		t.Errorf("P = %v, want 0.25", e.P)
+	}
+	pooledVar := pooled.P * (1 - pooled.P) / 400
+	if e.Var >= pooledVar {
+		t.Errorf("stratified var %v not below pooled %v", e.Var, pooledVar)
+	}
+	if e.EffN <= 400 {
+		t.Errorf("EffN = %v, want > raw 400", e.EffN)
+	}
+	if e.HalfWidth() >= (pooled.Hi-pooled.Lo)/2 {
+		t.Errorf("stratified interval no tighter than pooled")
+	}
+}
+
+func TestStratifiedUnsampledStratumWidens(t *testing.T) {
+	sampled := []Stratum{
+		{Weight: 0.5, Hits: 5, Trials: 100},
+		{Weight: 0.5, Hits: 7, Trials: 100},
+	}
+	withHole := []Stratum{
+		{Weight: 0.5, Hits: 5, Trials: 100},
+		{Weight: 0.5, Trials: 0},
+	}
+	if Stratified(withHole).HalfWidth() <= Stratified(sampled).HalfWidth() {
+		t.Error("an unsampled stratum must widen the interval, not tighten it")
+	}
+}

@@ -29,6 +29,7 @@
 package nlft
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/bbw"
 	"repro/internal/core"
 	"repro/internal/des"
@@ -171,6 +172,33 @@ type (
 // campaign's. Sampling estimates probabilities; this proves absence.
 func VerifyExhaustive(w Workload, cfg ExhaustConfig) (*ExhaustResult, error) {
 	return exhaust.Verify(w, cfg)
+}
+
+// --- Adaptive stratified sampling (internal/adapt) ---
+
+// Adaptive-campaign types.
+type (
+	// AdaptiveConfig parameterizes an adaptive stratified campaign.
+	AdaptiveConfig = adapt.Config
+	// AdaptiveResult is one adaptive campaign: per-stratum tallies,
+	// stratified estimates with confidence intervals, and the
+	// canonical-order digest.
+	AdaptiveResult = adapt.Result
+	// AdaptiveRoundInfo summarizes one committed allocation round.
+	AdaptiveRoundInfo = adapt.RoundInfo
+)
+
+// RunAdaptiveCampaign executes an adaptive stratified sampling
+// campaign: the fault space is stratified by (target × time bucket),
+// rounds of trials follow a Neyman allocation recomputed at each round
+// barrier, dominant strata split on the time axis, and the modelled
+// kernel-hit branch is carried analytically instead of simulated. The
+// result is bit-identical for any Parallelism and with the fork engine
+// on or off, and reaches a given confidence-interval width on
+// rare-outcome estimates in a small fraction of the trials uniform
+// sampling needs.
+func RunAdaptiveCampaign(w Workload, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	return adapt.Run(w, cfg)
 }
 
 // --- Observability (structured telemetry) ---
