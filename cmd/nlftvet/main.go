@@ -12,7 +12,12 @@
 //
 // Flags:
 //
-//	-list    print the analyzers and their contracts, then exit
+//	-list          print the analyzers and their contracts, then exit
+//	-json <path>   also write the full findings report (active and
+//	               allow-suppressed, with justifications) as JSON to
+//	               path ("-" for stdout); CI uploads it as an artifact
+//	-workers <n>   analyze packages with n parallel workers (default
+//	               GOMAXPROCS; findings are identical at any value)
 //
 // Findings are suppressed per line with an //nlft:allow directive
 // carrying a justification; see internal/analysis.
@@ -28,8 +33,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonPath := flag.String("json", "", "write the findings report as JSON to this path (\"-\" for stdout)")
+	workers := flag.Int("workers", 0, "parallel package workers (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: nlftvet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nlftvet [-list] [-json path] [-workers n] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,13 +64,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	results := analysis.CheckPackages(pkgs, analyzers, *workers)
+
 	findings := 0
-	for _, pkg := range pkgs {
-		for _, d := range analysis.Check(pkg, analyzers) {
+	for _, diags := range results {
+		for _, d := range diags {
+			if d.Allowed {
+				continue
+			}
 			findings++
 			fmt.Printf("%s\n", d)
 		}
 	}
+
+	if *jsonPath != "" {
+		report := analysis.BuildReport(root, pkgs, analyzers, results)
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "nlftvet: %d finding(s)\n", findings)
 		os.Exit(1)

@@ -88,8 +88,13 @@ func (s *stratum) key() uint64 {
 
 func (s *stratum) trials() int { return len(s.samples) }
 
-// commit records one settled trial.
+// commit records one settled trial. Commits happen on the driver
+// goroutine at round barriers, walking the flat plan in index order, so
+// the append order below is deterministic, not arrival order.
+//
+//nlft:merge
 func (s *stratum) commit(at des.Time, o fault.Outcome) {
+	//nlft:allow mergecommute committed in flat-plan index order at a deterministic round barrier
 	s.samples = append(s.samples, sample{at: at, outcome: o})
 	s.counts[o]++
 }

@@ -52,7 +52,7 @@ const DirectiveAnalyzer = "nlftdirective"
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism, NoAlloc, EventHandle, RNGStream}
+	return []*Analyzer{NoDeterminism, NoAlloc, EventHandle, RNGStream, SnapshotCover, MergeCommute}
 }
 
 // A Pass carries the type-checked package being analyzed and collects
@@ -79,10 +79,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // A Diagnostic is one finding, resolved to a concrete file position.
+// Allowed marks a finding suppressed by an //nlft:allow directive;
+// AllowReason carries the directive's recorded justification, so
+// reports can audit the exemption set alongside the failures.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos         token.Position
+	Analyzer    string
+	Message     string
+	Allowed     bool
+	AllowReason string
 }
 
 func (d Diagnostic) String() string {
@@ -94,6 +99,20 @@ func (d Diagnostic) String() string {
 // diagnostics sorted by position. Malformed directives are appended as
 // findings of the non-suppressible pseudo-analyzer "nlftdirective".
 func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	all := CheckAll(pkg, analyzers)
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Allowed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// CheckAll is Check without the suppression filter: allow-suppressed
+// diagnostics are returned too, marked Allowed and carrying their
+// justification. The JSON findings artifact is built from this view.
+func CheckAll(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	dirs := ParseDirectives(pkg.Fset, pkg.Files, KnownAnalyzerNames(analyzers))
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -108,21 +127,21 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if !dirs.Allowed(d.Analyzer, d.Pos) {
-			kept = append(kept, d)
+	for i := range diags {
+		if a := dirs.AllowFor(diags[i].Analyzer, diags[i].Pos); a != nil {
+			diags[i].Allowed = true
+			diags[i].AllowReason = a.Reason
 		}
 	}
 	for _, m := range dirs.Malformed {
-		kept = append(kept, Diagnostic{
+		diags = append(diags, Diagnostic{
 			Pos:      pkg.Fset.Position(m.Pos),
 			Analyzer: DirectiveAnalyzer,
 			Message:  m.Message,
 		})
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -132,9 +151,9 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return kept[i].Analyzer < kept[j].Analyzer
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return kept
+	return diags
 }
 
 // KnownAnalyzerNames returns the set of analyzer names //nlft:allow may

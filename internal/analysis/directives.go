@@ -21,6 +21,20 @@ import (
 //	    (standalone form). The justification is mandatory: an exemption
 //	    without a recorded reason is itself a finding.
 //
+//	//nlft:merge
+//	    In the doc comment of a function or method: the function is a
+//	    root of the commutative-merge path (registry merges, campaign
+//	    tally accumulation) and the mergecommute analyzer checks it —
+//	    and everything it statically calls in the same package — for
+//	    order-dependent state combination.
+//
+//	//nlft:snapshot-skip <reason>
+//	    On a struct field's line (end-of-line form) or on the line
+//	    directly above: exempts the field from the snapshotcover
+//	    analyzer's Snapshot/Restore completeness check. The reason is
+//	    mandatory — it must say why the field is configuration, wiring,
+//	    a derived cache, or measurement rather than rewindable state.
+//
 // Anything else spelled //nlft: is reported as malformed under the
 // pseudo-analyzer "nlftdirective" and cannot be suppressed.
 const directivePrefix = "//nlft:"
@@ -40,13 +54,26 @@ type Malformed struct {
 	Message string
 }
 
+// A SnapshotSkip is one parsed //nlft:snapshot-skip directive.
+type SnapshotSkip struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Reason string
+}
+
 // Directives holds the parsed //nlft: annotations of one package.
 type Directives struct {
 	// Noalloc maps each function declaration carrying //nlft:noalloc
 	// in its doc comment to the directive's position.
 	Noalloc map[*ast.FuncDecl]token.Pos
+	// Merge maps each function declaration carrying //nlft:merge in its
+	// doc comment to the directive's position.
+	Merge map[*ast.FuncDecl]token.Pos
 	// Allows lists every well-formed allow directive.
 	Allows []Allow
+	// SnapshotSkips lists every well-formed snapshot-skip directive.
+	SnapshotSkips []SnapshotSkip
 	// Malformed lists directives that failed to parse.
 	Malformed []Malformed
 }
@@ -54,7 +81,10 @@ type Directives struct {
 // ParseDirectives extracts //nlft: directives from the package's
 // files. known is the set of analyzer names an allow may reference.
 func ParseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) *Directives {
-	d := &Directives{Noalloc: make(map[*ast.FuncDecl]token.Pos)}
+	d := &Directives{
+		Noalloc: make(map[*ast.FuncDecl]token.Pos),
+		Merge:   make(map[*ast.FuncDecl]token.Pos),
+	}
 	for _, file := range files {
 		// Map each doc comment group to its function declaration so a
 		// noalloc directive can be tied to the function it annotates.
@@ -76,25 +106,40 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 	return d
 }
 
+// cutDirective splits one whitespace-separated token off the front of a
+// directive body. It treats tabs like spaces (a tab-separated directive
+// must not silently become an unknown verb) and tolerates a trailing
+// carriage return left over from a CRLF source file.
+func cutDirective(s string) (token, rest string) {
+	s = strings.TrimRight(s, "\r")
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
 func (d *Directives) parse(fset *token.FileSet, c *ast.Comment, group *ast.CommentGroup, docOwner map[*ast.CommentGroup]*ast.FuncDecl, known map[string]bool) {
 	body := strings.TrimPrefix(c.Text, directivePrefix)
-	verb, rest, _ := strings.Cut(body, " ")
-	rest = strings.TrimSpace(rest)
+	verb, rest := cutDirective(body)
 	switch verb {
-	case "noalloc":
+	case "noalloc", "merge":
 		if rest != "" {
-			d.malformed(c, "//nlft:noalloc takes no arguments (got %q); use //nlft:allow for exemptions", rest)
+			d.malformed(c, "//nlft:%s takes no arguments (got %q); use //nlft:allow for exemptions", verb, rest)
 			return
 		}
 		fd, ok := docOwner[group]
 		if !ok {
-			d.malformed(c, "//nlft:noalloc must appear in the doc comment of a function or method declaration")
+			d.malformed(c, "//nlft:%s must appear in the doc comment of a function or method declaration", verb)
 			return
 		}
-		d.Noalloc[fd] = c.Pos()
+		if verb == "noalloc" {
+			d.Noalloc[fd] = c.Pos()
+		} else {
+			d.Merge[fd] = c.Pos()
+		}
 	case "allow":
-		name, reason, _ := strings.Cut(rest, " ")
-		reason = strings.TrimSpace(reason)
+		name, reason := cutDirective(rest)
 		if name == "" {
 			d.malformed(c, "//nlft:allow needs an analyzer name and a justification")
 			return
@@ -115,8 +160,20 @@ func (d *Directives) parse(fset *token.FileSet, c *ast.Comment, group *ast.Comme
 			Analyzer: name,
 			Reason:   reason,
 		})
+	case "snapshot-skip":
+		if rest == "" {
+			d.malformed(c, "//nlft:snapshot-skip needs a reason saying why the field is not rewindable state")
+			return
+		}
+		pos := fset.Position(c.Pos())
+		d.SnapshotSkips = append(d.SnapshotSkips, SnapshotSkip{
+			Pos:    c.Pos(),
+			File:   pos.Filename,
+			Line:   pos.Line,
+			Reason: rest,
+		})
 	default:
-		d.malformed(c, "unknown directive //nlft:%s (want noalloc or allow)", verb)
+		d.malformed(c, "unknown directive //nlft:%s (want noalloc, merge, snapshot-skip or allow)", verb)
 	}
 }
 
@@ -128,15 +185,23 @@ func (d *Directives) malformed(c *ast.Comment, format string, args ...any) {
 // is suppressed by an allow directive on the same line or on the line
 // directly above (the standalone-comment form).
 func (d *Directives) Allowed(analyzer string, pos token.Position) bool {
-	for _, a := range d.Allows {
+	return d.AllowFor(analyzer, pos) != nil
+}
+
+// AllowFor returns the allow directive suppressing the named analyzer
+// at pos (same line, or the line directly above for the standalone
+// form), or nil when the diagnostic is not suppressed.
+func (d *Directives) AllowFor(analyzer string, pos token.Position) *Allow {
+	for i := range d.Allows {
+		a := &d.Allows[i]
 		if a.Analyzer != analyzer || a.File != pos.Filename {
 			continue
 		}
 		if a.Line == pos.Line || a.Line == pos.Line-1 {
-			return true
+			return a
 		}
 	}
-	return false
+	return nil
 }
 
 // NoallocFunc reports whether decl carries the //nlft:noalloc
@@ -144,4 +209,25 @@ func (d *Directives) Allowed(analyzer string, pos token.Position) bool {
 func (d *Directives) NoallocFunc(decl *ast.FuncDecl) bool {
 	_, ok := d.Noalloc[decl]
 	return ok
+}
+
+// MergeFunc reports whether decl carries the //nlft:merge annotation.
+func (d *Directives) MergeFunc(decl *ast.FuncDecl) bool {
+	_, ok := d.Merge[decl]
+	return ok
+}
+
+// SnapshotSkipAt reports whether a struct field declared at pos is
+// exempted by a snapshot-skip directive on the same line (end-of-line
+// form) or on the line directly above (standalone form).
+func (d *Directives) SnapshotSkipAt(pos token.Position) bool {
+	for _, s := range d.SnapshotSkips {
+		if s.File != pos.Filename {
+			continue
+		}
+		if s.Line == pos.Line || s.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirectives feeds arbitrary Go source through the //nlft:
+// directive scanner and checks the structural invariants that the
+// analyzers rely on, whatever the input:
+//
+//   - scanning never panics and is deterministic (two scans of the
+//     same file agree exactly);
+//   - every comment that spells the //nlft: prefix lands in exactly one
+//     bucket (noalloc, merge, allow, snapshot-skip, or malformed) —
+//     nothing is silently dropped;
+//   - accepted allows always carry a known analyzer name and a
+//     non-empty justification, and accepted skips a non-empty reason,
+//     even for adversarial whitespace, CRLF line endings, or directive
+//     text buried in the middle of other tokens;
+//   - directive text inside string literals is never scanned (the
+//     scanner walks the comment list, not the raw bytes).
+func FuzzParseDirectives(f *testing.F) {
+	seeds := []string{
+		"package p\n\n//nlft:noalloc\nfunc F() {}\n",
+		"package p\n\n//nlft:merge\nfunc F() {}\n",
+		"package p\n\n//nlft:allow noalloc cold path\nfunc F() {}\n",
+		"package p\n\ntype T struct {\n\tx int //nlft:snapshot-skip derived cache\n}\n",
+		// Malformed shapes.
+		"package p\n\n//nlft:allow\nfunc F() {}\n",
+		"package p\n\n//nlft:allow noalloc\nfunc F() {}\n",
+		"package p\n\n//nlft:allow nosuch reason text\nfunc F() {}\n",
+		"package p\n\n//nlft:snapshot-skip\ntype T struct{}\n",
+		"package p\n\n//nlft:noalloc with arguments\nfunc F() {}\n",
+		"package p\n\n//nlft:\nfunc F() {}\n",
+		"package p\n\n//nlft:noallocx\nfunc F() {}\n",
+		// CRLF endings and tab separators.
+		"package p\r\n\r\n//nlft:allow\tnoalloc\tcold exit\r\nfunc F() {}\r\n",
+		"package p\r\n\r\n//nlft:snapshot-skip wiring\r\ntype T struct{ x int }\r\n",
+		// Directive text inside string literals must be invisible.
+		"package p\n\nvar s = \"//nlft:allow noalloc fake\"\n",
+		"package p\n\nvar s = `//nlft:merge`\n",
+		// Directive-ish text in an ordinary comment with a space (not a
+		// directive: //go:-style directives have no space after //).
+		"package p\n\n// nlft:noalloc\nfunc F() {}\n",
+		// Block comments never match the line-comment prefix.
+		"package p\n\n/*nlft:noalloc*/\nfunc F() {}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := KnownAnalyzerNames(nil)
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil || file == nil {
+			return // not valid Go; the scanner only ever sees parsed files
+		}
+		d := ParseDirectives(fset, []*ast.File{file}, known)
+
+		// Conservation: every //nlft:-prefixed comment is accounted for.
+		directiveComments := 0
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, directivePrefix) {
+					directiveComments++
+				}
+			}
+		}
+		parsed := len(d.Noalloc) + len(d.Merge) + len(d.Allows) + len(d.SnapshotSkips) + len(d.Malformed)
+		if parsed != directiveComments {
+			t.Fatalf("%d directive comments but %d parsed entries\nsource:\n%s", directiveComments, parsed, src)
+		}
+
+		for _, a := range d.Allows {
+			if !known[a.Analyzer] {
+				t.Errorf("accepted allow names unknown analyzer %q", a.Analyzer)
+			}
+			if strings.TrimSpace(a.Reason) == "" {
+				t.Errorf("accepted allow with empty justification at %s:%d", a.File, a.Line)
+			}
+			if strings.ContainsAny(a.Analyzer+a.Reason, "\r\n") {
+				t.Errorf("allow retained line-ending bytes: %+v", a)
+			}
+		}
+		for _, s := range d.SnapshotSkips {
+			if strings.TrimSpace(s.Reason) == "" {
+				t.Errorf("accepted snapshot-skip with empty reason at %s:%d", s.File, s.Line)
+			}
+		}
+		for _, m := range d.Malformed {
+			if m.Message == "" {
+				t.Errorf("malformed directive with empty message")
+			}
+		}
+
+		// Determinism: a second scan of the same file agrees.
+		d2 := ParseDirectives(fset, []*ast.File{file}, known)
+		if len(d2.Allows) != len(d.Allows) || len(d2.SnapshotSkips) != len(d.SnapshotSkips) ||
+			len(d2.Malformed) != len(d.Malformed) || len(d2.Noalloc) != len(d.Noalloc) ||
+			len(d2.Merge) != len(d.Merge) {
+			t.Errorf("second scan disagrees with first")
+		}
+	})
+}
+
+// TestDirectiveInStringLiteral pins the property the fuzz invariant
+// checks statistically: directive text inside string literals (raw or
+// interpreted) is never parsed as a directive.
+func TestDirectiveInStringLiteral(t *testing.T) {
+	d := parseDirs(t, "package p\n\nvar a = \"//nlft:allow noalloc fake\"\nvar b = `//nlft:merge`\nvar c = \"x //nlft:snapshot-skip y\"\n")
+	if len(d.Allows)+len(d.SnapshotSkips)+len(d.Noalloc)+len(d.Merge)+len(d.Malformed) != 0 {
+		t.Fatalf("directive text in string literals was scanned: %+v", d)
+	}
+}

@@ -191,6 +191,103 @@ func TestAllowMalformed(t *testing.T) {
 	}
 }
 
+func TestMergeDirective(t *testing.T) {
+	d := parseDirs(t, `package p
+
+type R struct{}
+
+//nlft:merge
+func (R) Merge(o R) {}
+
+//nlft:merge
+func Fold(a, b int) int { return a + b }
+`)
+	if len(d.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", d.Malformed)
+	}
+	if len(d.Merge) != 2 {
+		t.Fatalf("want 2 merge-annotated declarations, got %d", len(d.Merge))
+	}
+	for fd := range d.Merge {
+		if !d.MergeFunc(fd) {
+			t.Errorf("MergeFunc(%s) = false for an annotated declaration", fd.Name.Name)
+		}
+	}
+}
+
+func TestMergeMalformed(t *testing.T) {
+	d := parseDirs(t, "package p\n\n//nlft:merge commutative\nfunc F() {}\n")
+	if len(d.Merge) != 0 || len(d.Malformed) != 1 {
+		t.Fatalf("want 1 malformed and no merge entries, got merge=%d malformed=%v", len(d.Merge), d.Malformed)
+	}
+	if !strings.Contains(d.Malformed[0].Message, "takes no arguments") {
+		t.Errorf("message %q does not mention the argument rule", d.Malformed[0].Message)
+	}
+}
+
+func TestSnapshotSkipParser(t *testing.T) {
+	d := parseDirs(t, `package p
+
+type T struct {
+	cfg string //nlft:snapshot-skip immutable configuration, set at build time
+	//nlft:snapshot-skip derived cache, rebuilt on demand
+	cache map[string]int
+	state int
+}
+`)
+	if len(d.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", d.Malformed)
+	}
+	if len(d.SnapshotSkips) != 2 {
+		t.Fatalf("want 2 snapshot-skips, got %v", d.SnapshotSkips)
+	}
+	if r := d.SnapshotSkips[0].Reason; r != "immutable configuration, set at build time" {
+		t.Errorf("skip[0] reason %q", r)
+	}
+	pos := func(line int) token.Position {
+		return token.Position{Filename: "dir_test.go", Line: line}
+	}
+	if !d.SnapshotSkipAt(pos(4)) {
+		t.Errorf("end-of-line skip must cover its own line")
+	}
+	if !d.SnapshotSkipAt(pos(6)) {
+		t.Errorf("standalone skip must cover the line below")
+	}
+	if d.SnapshotSkipAt(pos(7)) {
+		t.Errorf("skip must not cover the state field")
+	}
+	if d.SnapshotSkipAt(token.Position{Filename: "other.go", Line: 4}) {
+		t.Errorf("skip must be per-file")
+	}
+}
+
+func TestSnapshotSkipMalformed(t *testing.T) {
+	d := parseDirs(t, "package p\n\ntype T struct {\n\tx int //nlft:snapshot-skip\n}\n")
+	if len(d.SnapshotSkips) != 0 || len(d.Malformed) != 1 {
+		t.Fatalf("want 1 malformed and no skips, got skips=%v malformed=%v", d.SnapshotSkips, d.Malformed)
+	}
+	if !strings.Contains(d.Malformed[0].Message, "needs a reason") {
+		t.Errorf("message %q does not mention the reason rule", d.Malformed[0].Message)
+	}
+}
+
+// TestDirectiveWhitespace: tabs separate directive tokens like spaces
+// do, and a trailing carriage return (CRLF sources) does not corrupt
+// the last token.
+func TestDirectiveWhitespace(t *testing.T) {
+	d := parseDirs(t, "package p\n\nfunc F() int {\n\treturn 0 //nlft:allow\tnoalloc\tboxing on the cold exit\r\n}\n")
+	if len(d.Malformed) != 0 {
+		t.Fatalf("tab-separated allow reported malformed: %v", d.Malformed)
+	}
+	if len(d.Allows) != 1 {
+		t.Fatalf("want 1 allow, got %v", d.Allows)
+	}
+	a := d.Allows[0]
+	if a.Analyzer != "noalloc" || a.Reason != "boxing on the cold exit" {
+		t.Errorf("parsed as %+v", a)
+	}
+}
+
 // TestMalformedDirectivesSurfaceAsFindings: Check reports malformed
 // directives under the non-suppressible nlftdirective pseudo-analyzer.
 func TestMalformedDirectivesSurfaceAsFindings(t *testing.T) {

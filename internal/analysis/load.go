@@ -152,9 +152,23 @@ func ExportLookup(dir string, patterns ...string) (*token.FileSet, types.Importe
 // TypeCheckFiles parses and type-checks a set of Go files as one
 // package with the given import path, resolving imports through imp.
 func TypeCheckFiles(fset *token.FileSet, imp types.Importer, importPath string, filenames []string) (*Package, error) {
+	return TypeCheckOverlay(fset, imp, importPath, filenames, nil)
+}
+
+// TypeCheckOverlay is TypeCheckFiles with an in-memory overlay: a file
+// whose name appears in overlay is parsed from the supplied content
+// instead of disk. The seeded-regression tests use it to re-type-check
+// a real snapshotted package with one field copy deleted (or one merge
+// made non-commutative) and prove the analyzers turn red without
+// mutating the working tree.
+func TypeCheckOverlay(fset *token.FileSet, imp types.Importer, importPath string, filenames []string, overlay map[string][]byte) (*Package, error) {
 	var files []*ast.File
 	for _, name := range filenames {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		var src any
+		if data, ok := overlay[name]; ok {
+			src = data
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadSyntaxErrorPackage: a package that does not parse is a Load
+// error carrying the go command's diagnosis, not a silent skip — an
+// analyzer that silently ignored broken packages would report "clean"
+// on exactly the code most likely to be wrong.
+func TestLoadSyntaxErrorPackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":        "module example.test/broken\n\ngo 1.22\n",
+		"broken.go":     "package broken\n\nfunc F( {\n",
+		"ok/ok.go":      "package ok\n",
+		"ok/ok_test.go": "package ok\n",
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a syntax-error package")
+	}
+	if !strings.Contains(err.Error(), "analysis:") {
+		t.Errorf("error %q does not carry the analysis: prefix", err)
+	}
+}
+
+// TestLoadTypeErrorPackage: a package that parses but does not
+// type-check must also surface as an error (its export data cannot
+// exist, so analysis would be built on a broken types.Package).
+func TestLoadTypeErrorPackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":  "module example.test/typeerr\n\ngo 1.22\n",
+		"bad.go":  "package typeerr\n\nvar x int = \"not an int\"\n",
+		"good.go": "package typeerr\n\nvar y = 1\n",
+	})
+	_, err := Load(dir, []string{"."})
+	if err == nil {
+		t.Fatal("Load succeeded on a package that does not type-check")
+	}
+}
+
+// TestLoadInconsistentVendoring: a module whose vendor/modules.txt
+// disagrees with go.mod makes the go command refuse outright; Load must
+// propagate that as an error with the go command's stderr attached.
+func TestLoadInconsistentVendoring(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                            "module example.test/vend\n\ngo 1.22\n",
+		"vend.go":                           "package vend\n",
+		"vendor/modules.txt":                "# example.com/ghost v1.0.0\n## explicit; go 1.22\nexample.com/ghost\n",
+		"vendor/example.com/ghost/ghost.go": "package ghost\n",
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded despite inconsistent vendoring")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error %q does not identify the failing go list invocation", err)
+	}
+}
+
+// TestLoadMissingDirectory: pointing the loader at a directory that
+// does not exist fails up front (the go command cannot even start).
+func TestLoadMissingDirectory(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope"), []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded in a nonexistent directory")
+	}
+}
+
+// TestMissingExportData: type-checking a file whose import lies outside
+// the prepared export closure must fail with the loader's "no export
+// data" diagnosis inside the type error, not a nil-package crash.
+func TestMissingExportData(t *testing.T) {
+	fset, imp, err := ExportLookup(".", "strconv")
+	if err != nil {
+		t.Fatalf("ExportLookup: %v", err)
+	}
+	dir := writeTree(t, map[string]string{
+		"uses_time.go": "package p\n\nimport \"time\"\n\nvar T = time.Second\n",
+	})
+	_, err = TypeCheckFiles(fset, imp, "example.test/p", []string{filepath.Join(dir, "uses_time.go")})
+	if err == nil {
+		t.Fatal("TypeCheckFiles resolved an import with no export data")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error %q does not surface the missing export data", err)
+	}
+
+	// The same closure still resolves what it does contain.
+	ok := writeTree(t, map[string]string{
+		"uses_strconv.go": "package p\n\nimport \"strconv\"\n\nvar S = strconv.Itoa(1)\n",
+	})
+	if _, err := TypeCheckFiles(fset, imp, "example.test/p2", []string{filepath.Join(ok, "uses_strconv.go")}); err != nil {
+		t.Errorf("TypeCheckFiles failed on an in-closure import: %v", err)
+	}
+}
+
+// TestTypeCheckFilesParseError: an unparseable file is a parse error
+// from TypeCheckFiles, positioned at the offending file.
+func TestTypeCheckFilesParseError(t *testing.T) {
+	fset, imp, err := ExportLookup(".")
+	if err != nil {
+		t.Fatalf("ExportLookup: %v", err)
+	}
+	dir := writeTree(t, map[string]string{
+		"mangled.go": "package p\n\nfunc F( {\n",
+	})
+	_, err = TypeCheckFiles(fset, imp, "example.test/p", []string{filepath.Join(dir, "mangled.go")})
+	if err == nil {
+		t.Fatal("TypeCheckFiles accepted an unparseable file")
+	}
+	if _, ok := err.(interface{ Error() string }); !ok {
+		t.Fatalf("unexpected error shape %T", err)
+	}
+	if !strings.Contains(err.Error(), "mangled.go") {
+		t.Errorf("parse error %q does not name the offending file", err)
+	}
+}
+
+// TestTypeCheckOverlayBadPatch: an overlay that breaks the file's
+// syntax fails at parse, and one that breaks typing fails at check —
+// the seeded-regression harness depends on both failing loudly rather
+// than analyzing a half-loaded package.
+func TestTypeCheckOverlayBadPatch(t *testing.T) {
+	fset, imp, err := ExportLookup(".")
+	if err != nil {
+		t.Fatalf("ExportLookup: %v", err)
+	}
+	dir := writeTree(t, map[string]string{
+		"real.go": "package p\n\nvar X = 1\n",
+	})
+	name := filepath.Join(dir, "real.go")
+
+	if _, err := TypeCheckOverlay(fset, imp, "example.test/p", []string{name},
+		map[string][]byte{name: []byte("package p\n\nvar X = \n")}); err == nil {
+		t.Error("syntax-breaking overlay was accepted")
+	}
+	if _, err := TypeCheckOverlay(fset, imp, "example.test/p2", []string{name},
+		map[string][]byte{name: []byte("package p\n\nvar X int = \"s\"\n")}); err == nil {
+		t.Error("type-breaking overlay was accepted")
+	}
+	// And the overlay really substitutes content: the disk file declares
+	// X, the overlay declares Y instead.
+	pkg, err := TypeCheckOverlay(fset, imp, "example.test/p3", []string{name},
+		map[string][]byte{name: []byte("package p\n\nvar Y = 2\n")})
+	if err != nil {
+		t.Fatalf("overlay type-check: %v", err)
+	}
+	if pkg.Types.Scope().Lookup("Y") == nil || pkg.Types.Scope().Lookup("X") != nil {
+		t.Errorf("overlay content was not substituted for disk content")
+	}
+}
+
+// TestModuleRootOutsideModule: ModuleRoot refuses a directory that is
+// not inside any Go module.
+func TestModuleRootOutsideModule(t *testing.T) {
+	dir := t.TempDir() // no go.mod anywhere above /tmp
+	root, err := ModuleRoot(dir)
+	if err == nil {
+		t.Fatalf("ModuleRoot(%s) = %q, want error", dir, root)
+	}
+	if !strings.Contains(err.Error(), "not inside a Go module") {
+		t.Errorf("error %q does not say the directory is outside a module", err)
+	}
+}
+
+// TestModuleRootHere sanity-checks the happy path against go.mod.
+func TestModuleRootHere(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("ModuleRoot %q has no go.mod: %v", root, err)
+	}
+}

@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MergeCommute proves that sharded results only flow through
+// commutative combination. Campaign digests are pinned bit-identical at
+// any worker count because worker-private state (obs registries, trial
+// tallies, stratum samples) is merged after the pool drains — and that
+// only holds if every merge is order-independent: counters add, gauges
+// keep extremes, histogram buckets add, sets union. The planned sharded
+// orchestrator streams worker results to a coordinator in arrival
+// order, so a single order-dependent merge step silently breaks the
+// bit-identical guarantee under network jitter.
+//
+// Roots are functions annotated //nlft:merge. The analyzer walks each
+// root and every same-package function it statically calls (calls made
+// under a commutativity guard are not descended — see below), and
+// reports state combination that depends on arrival order:
+//
+//   - plain overwrites: `dst.f = src.f` assigns through shared state
+//     without reading the previous value, so the last shard wins;
+//   - order-dependent appends: `xs = append(xs, ...)` accumulates in
+//     arrival order regardless of what xs is;
+//   - non-commutative compound assignment (/=, %=, <<=, >>=, &^=);
+//   - early exits (break/return) directly inside a map range, which
+//     make the result depend on iteration order.
+//
+// Allowed without annotation: += -= *= &= |= ^= and ++/--, writes to
+// function-local scratch, and assignments whose right-hand side reads
+// the destination (read-modify-write combines). An assignment guarded
+// by an ordering comparison (< > <= >=: the extreme-keep idiom), a
+// nil/zero comparison, or a negated condition (init-if-absent) is
+// treated as commutative and its calls are not descended. Map
+// iteration itself is fine — only order-dependent operations inside
+// one are findings, because commutative ops commute over any
+// iteration order. Intentional order-dependence that is actually
+// canonical (a name-sorted two-pointer list merge, a deterministic
+// round-barrier commit) carries //nlft:allow mergecommute <why>.
+var MergeCommute = &Analyzer{
+	Name: "mergecommute",
+	Doc: "functions on the //nlft:merge path may only combine state " +
+		"with commutative operations",
+	Run: runMergeCommute,
+}
+
+func runMergeCommute(pass *Pass) {
+	// Bodies of same-package functions, for descending static calls.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if pass.Directives.MergeFunc(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	visited := make(map[*ast.FuncDecl]bool)
+	queue := roots
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if visited[fd] {
+			continue
+		}
+		visited[fd] = true
+		w := &mergeWalker{
+			pass:   pass,
+			decls:  decls,
+			queue:  &queue,
+			locals: localVars(pass, fd),
+		}
+		w.stmt(fd.Body, false, false)
+	}
+}
+
+// localVars collects every variable object declared inside fd
+// (receiver, parameters, results, locals): writes to these are private
+// scratch, not shared merge state.
+func localVars(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	locals := make(map[types.Object]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := pass.Info.Defs[id].(*types.Var); ok {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// mergeWalker carries the per-function analysis state. guarded means
+// the statement sits under a commutativity guard; inMapRange means a
+// break/return here exits a map iteration early.
+type mergeWalker struct {
+	pass   *Pass
+	decls  map[*types.Func]*ast.FuncDecl
+	queue  *[]*ast.FuncDecl
+	locals map[types.Object]bool
+}
+
+func (w *mergeWalker) stmt(s ast.Stmt, guarded, inMapRange bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			w.stmt(t, guarded, inMapRange)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, guarded, inMapRange)
+		w.expr(s.Cond, guarded)
+		g := guarded || commutativeGuard(s.Cond)
+		w.stmt(s.Body, g, inMapRange)
+		w.stmt(s.Else, g, inMapRange)
+	case *ast.ForStmt:
+		w.stmt(s.Init, guarded, inMapRange)
+		w.expr(s.Cond, guarded)
+		w.stmt(s.Post, guarded, inMapRange)
+		// A break in the body now binds to this loop, not the map range.
+		w.stmt(s.Body, guarded, false)
+	case *ast.RangeStmt:
+		w.expr(s.X, guarded)
+		_, isMap := typeOf(w.pass, s.X).Underlying().(*types.Map)
+		w.stmt(s.Body, guarded, isMap)
+	case *ast.AssignStmt:
+		w.assign(s, guarded)
+	case *ast.IncDecStmt:
+		w.expr(s.X, guarded) // ++/-- commute
+	case *ast.ExprStmt:
+		w.expr(s.X, guarded)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, guarded)
+					}
+				}
+			}
+		}
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK && inMapRange {
+			w.pass.Reportf(s.Pos(), "break inside map iteration in merge path: which entries were combined depends on iteration order (finish the range, or //nlft:allow mergecommute <why>)")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, guarded)
+		}
+		if inMapRange {
+			w.pass.Reportf(s.Pos(), "return inside map iteration in merge path: which entries were combined depends on iteration order (finish the range, or //nlft:allow mergecommute <why>)")
+		}
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, guarded, inMapRange)
+		w.expr(s.Tag, guarded)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, guarded)
+			}
+			for _, t := range cc.Body {
+				w.stmt(t, guarded, inMapRange)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, guarded, inMapRange)
+		w.stmt(s.Assign, guarded, inMapRange)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, t := range cc.Body {
+				w.stmt(t, guarded, inMapRange)
+			}
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, guarded)
+	case *ast.GoStmt:
+		w.expr(s.Call, guarded)
+	case *ast.SendStmt:
+		w.expr(s.Chan, guarded)
+		w.expr(s.Value, guarded)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, guarded, inMapRange)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm, guarded, inMapRange)
+			for _, t := range cc.Body {
+				w.stmt(t, guarded, inMapRange)
+			}
+		}
+	}
+}
+
+// expr scans an expression for same-package calls to descend into and
+// for function literals (whose bodies are walked as merge code: a
+// closure invoked on the merge path combines state too).
+func (w *mergeWalker) expr(e ast.Expr, guarded bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmt(n.Body, guarded, false)
+			return false
+		case *ast.CallExpr:
+			if guarded {
+				// A call under an ordering or init-if-absent guard is the
+				// commutative idiom's action arm; its body is not merge
+				// context.
+				return true
+			}
+			if fn := calleeFunc(w.pass.Info, n); fn != nil {
+				if fd, ok := w.decls[fn]; ok {
+					*w.queue = append(*w.queue, fd)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *mergeWalker) assign(s *ast.AssignStmt, guarded bool) {
+	for _, r := range s.Rhs {
+		w.expr(r, guarded)
+	}
+	for _, l := range s.Lhs {
+		w.expr(l, guarded) // index/selector bases may contain calls
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		return // declares locals
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return // accumulation ops that commute across shards
+	case token.ASSIGN:
+	default:
+		// QUO_ASSIGN, REM_ASSIGN, SHL_ASSIGN, SHR_ASSIGN, AND_NOT_ASSIGN
+		w.pass.Reportf(s.Pos(), "non-commutative compound assignment %s in merge path: shard arrival order changes the result (use a commutative op, or //nlft:allow mergecommute <why>)", s.Tok)
+		return
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		w.checkWrite(s, lhs, rhs, guarded)
+	}
+}
+
+// checkWrite classifies one plain `=` write in merge context.
+func (w *mergeWalker) checkWrite(s *ast.AssignStmt, lhs, rhs ast.Expr, guarded bool) {
+	lhs = ast.Unparen(lhs)
+	if isSelfAppend(w.pass, lhs, rhs) {
+		// Appends accumulate in arrival order no matter what the slice
+		// is; canonical-order appends (sorted-list merges, round-barrier
+		// commits) carry an allow.
+		w.pass.Reportf(s.Pos(), "order-dependent append to %s in merge path: element order follows shard arrival order (merge into keyed or commutative state, or //nlft:allow mergecommute <why>)", types.ExprString(lhs))
+		return
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if obj := w.pass.Info.Uses[id]; obj == nil || w.locals[obj] {
+			return // function-local scratch
+		}
+	}
+	if guarded {
+		return // extreme-keep / init-if-absent action arm
+	}
+	if rhs != nil && mentionsExpr(rhs, lhs) {
+		return // read-modify-write combine
+	}
+	w.pass.Reportf(s.Pos(), "plain overwrite of %s in merge path: the last shard to merge wins (combine with += / max / min / set union, guard on an ordering comparison, or //nlft:allow mergecommute <why>)", types.ExprString(lhs))
+}
+
+// typeOf is Info.TypeOf with a non-nil fallback so Underlying() is
+// always callable.
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if t := pass.Info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+// commutativeGuard reports whether cond is an ordering comparison
+// (extreme-keep), a nil/zero comparison or a negated condition
+// (init-if-absent) — the guard shapes that make the enclosed write
+// order-independent.
+func commutativeGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			case token.EQL, token.NEQ:
+				if isNilOrZero(e.X) || isNilOrZero(e.Y) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilOrZero(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.BasicLit:
+		return e.Value == "0" || e.Value == `""`
+	}
+	return false
+}
+
+// isSelfAppend reports whether rhs is append(lhs, ...) or
+// append(lhs[:k], ...).
+func isSelfAppend(pass *Pass, lhs, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || builtinName(pass.Info, call) != "append" || len(call.Args) == 0 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if sl, ok := arg.(*ast.SliceExpr); ok {
+		arg = ast.Unparen(sl.X)
+	}
+	return types.ExprString(arg) == types.ExprString(lhs)
+}
+
+// mentionsExpr reports whether rhs contains a subexpression
+// syntactically identical to lhs (the read half of a read-modify-write
+// combine).
+func mentionsExpr(rhs, lhs ast.Expr) bool {
+	want := types.ExprString(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

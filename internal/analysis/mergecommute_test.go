@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestMergeCommute(t *testing.T) {
+	runAnalyzerTest(t, MergeCommute, "mergecommute", "repro/tools/mctest")
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CheckPackages runs the analyzer suite over every package with the
+// given worker count (<= 0 means GOMAXPROCS), returning one diagnostic
+// slice per package, index-aligned with pkgs.
+//
+// The result is deterministic at any parallelism: workers claim
+// package indices from an atomic counter, each package's diagnostics
+// land in its own slot (already position-sorted by CheckAll), and
+// nothing about a package's analysis depends on any other package's —
+// so concatenating the slots in pkgs order yields a byte-identical
+// findings list whether one worker ran or sixteen did. The shared
+// token.FileSet is safe here: checking only reads it (Position
+// lookups), which the FileSet synchronizes internally.
+func CheckPackages(pkgs []*Package, analyzers []*Analyzer, workers int) [][]Diagnostic {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	results := make([][]Diagnostic, len(pkgs))
+	if workers <= 1 {
+		for i, pkg := range pkgs {
+			results[i] = CheckAll(pkg, analyzers)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
+				}
+				results[i] = CheckAll(pkgs[i], analyzers)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

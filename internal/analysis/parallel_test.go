@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadModulePackages loads every package of the module once for the
+// parallel-driver tests.
+func loadModulePackages(t *testing.T) []*Package {
+	t.Helper()
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load returned only %d packages; expected the whole module", len(pkgs))
+	}
+	return pkgs
+}
+
+// TestCheckPackagesDeterministic asserts the contract nlftvet -workers
+// relies on: the findings list is byte-identical at any worker count.
+func TestCheckPackagesDeterministic(t *testing.T) {
+	pkgs := loadModulePackages(t)
+	analyzers := All()
+
+	want := CheckPackages(pkgs, analyzers, 1)
+	for _, workers := range []int{2, 3, 8, 64, 0} {
+		got := CheckPackages(pkgs, analyzers, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: diagnostics differ from serial run", workers)
+		}
+	}
+
+	// Per-package diagnostics must already be position-sorted, so the
+	// concatenation order is fully determined by the package order.
+	for i, diags := range want {
+		for j := 1; j < len(diags); j++ {
+			a, b := diags[j-1].Pos, diags[j].Pos
+			if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+				t.Errorf("package %s: diagnostics out of order: %s before %s",
+					pkgs[i].ImportPath, diags[j-1], diags[j])
+			}
+		}
+	}
+}
+
+// TestBuildReport checks the JSON artifact shape: module-relative
+// slash paths, active/allowed tallies consistent with the findings,
+// and a non-null findings array even when clean.
+func TestBuildReport(t *testing.T) {
+	pkgs := loadModulePackages(t)
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	analyzers := All()
+	results := CheckPackages(pkgs, analyzers, 0)
+	report := BuildReport(root, pkgs, analyzers, results)
+
+	if report.Packages != len(pkgs) {
+		t.Errorf("Packages = %d, want %d", report.Packages, len(pkgs))
+	}
+	if report.Active != 0 {
+		t.Errorf("module has %d active findings; the tree must be clean", report.Active)
+	}
+	if report.Allowed == 0 {
+		t.Errorf("expected allow-suppressed findings in the report (the module carries //nlft:allow directives)")
+	}
+	active, allowed := 0, 0
+	for _, f := range report.Findings {
+		if f.Allowed {
+			allowed++
+			if f.AllowReason == "" {
+				t.Errorf("%s:%d: allowed finding without a justification", f.File, f.Line)
+			}
+		} else {
+			active++
+		}
+		if strings.Contains(f.File, "\\") || strings.HasPrefix(f.File, "/") {
+			t.Errorf("finding path %q is not module-relative slash form", f.File)
+		}
+	}
+	if active != report.Active || allowed != report.Allowed {
+		t.Errorf("tallies active=%d allowed=%d disagree with findings %d/%d",
+			report.Active, report.Allowed, active, allowed)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if back.Allowed != report.Allowed || len(back.Findings) != len(report.Findings) {
+		t.Errorf("round-trip lost findings: %d/%d vs %d/%d",
+			back.Allowed, len(back.Findings), report.Allowed, len(report.Findings))
+	}
+
+	// A clean report must marshal findings as [], not null.
+	empty := BuildReport(root, nil, analyzers, nil)
+	buf.Reset()
+	if err := empty.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON(empty): %v", err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty report marshals findings as null:\n%s", buf.String())
+	}
+}

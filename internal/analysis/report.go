@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// A Finding is one row of the machine-readable nlftvet report.
+type Finding struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Column      int    `json:"column"`
+	Package     string `json:"package"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Allowed     bool   `json:"allowed"`
+	AllowReason string `json:"allow_reason,omitempty"`
+}
+
+// A Report is the JSON findings artifact nlftvet -json writes and CI
+// uploads next to the exhaustive coverage certificate. It contains
+// every diagnostic the suite produced — active findings AND
+// allow-suppressed ones with their recorded justification — so the
+// exemption set is auditable from the artifact alone, not just the
+// failures.
+type Report struct {
+	Analyzers []string  `json:"analyzers"`
+	Packages  int       `json:"packages"`
+	Active    int       `json:"active"`
+	Allowed   int       `json:"allowed"`
+	Findings  []Finding `json:"findings"`
+}
+
+// BuildReport assembles the report from CheckPackages results
+// (index-aligned with pkgs). File paths are made relative to root when
+// possible, so artifacts compare across checkouts.
+func BuildReport(root string, pkgs []*Package, analyzers []*Analyzer, results [][]Diagnostic) *Report {
+	r := &Report{
+		Packages: len(pkgs),
+		Findings: []Finding{}, // marshal as [] rather than null when clean
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+	}
+	for i, diags := range results {
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if root != "" {
+				if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+					file = filepath.ToSlash(rel)
+				}
+			}
+			if d.Allowed {
+				r.Allowed++
+			} else {
+				r.Active++
+			}
+			r.Findings = append(r.Findings, Finding{
+				File:        file,
+				Line:        d.Pos.Line,
+				Column:      d.Pos.Column,
+				Package:     pkgs[i].ImportPath,
+				Analyzer:    d.Analyzer,
+				Message:     d.Message,
+				Allowed:     d.Allowed,
+				AllowReason: d.AllowReason,
+			})
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report, indented for human diffing.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSnapshotCover(t *testing.T) {
+	runAnalyzerTest(t, SnapshotCover, "snapcover", "repro/tools/sctest")
+}

@@ -1,0 +1,117 @@
+// Package mctest is the mergecommute fixture: a merge root combining
+// state through commutative ops (clean), overwrites, appends,
+// early exits (findings), guard idioms and allow suppression.
+package mctest
+
+type hist struct {
+	buckets [8]uint64
+	max     uint64
+}
+
+// merge is reached from the root below, so its body is merge context.
+func (h *hist) merge(o *hist) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.max = o.max // want "plain overwrite of h.max in merge path"
+}
+
+type agg struct {
+	total   int
+	peak    int
+	ratio   float64
+	last    int
+	names   map[string]int
+	samples []int
+	sorted  []int
+	h       hist
+	seen    map[string]bool
+}
+
+// Merge folds src into a.
+//
+//nlft:merge
+func (a *agg) Merge(src *agg) {
+	a.total += src.total
+
+	// Extreme-keep: ordering guard makes the write order-independent.
+	if src.peak > a.peak {
+		a.peak = src.peak
+	}
+
+	// Commutative per-key adds inside a map range are fine.
+	for k, v := range src.names {
+		a.names[k] += v
+	}
+
+	// Init-if-absent: nil guard makes the write order-independent.
+	if a.seen == nil {
+		a.seen = make(map[string]bool)
+	}
+
+	a.h.merge(&src.h)
+
+	a.ratio /= 2 // want "non-commutative compound assignment /="
+
+	a.last = src.last // want "plain overwrite of a.last in merge path"
+
+	a.samples = append(a.samples, src.samples...) // want "order-dependent append to a.samples"
+
+	//nlft:allow mergecommute appended in canonical key order, sorted below
+	a.sorted = append(a.sorted, src.sorted...)
+
+	// Read-modify-write combines and local scratch are fine.
+	a.total = a.total + src.total
+	carry := 0
+	carry = carry + src.last
+	_ = carry
+}
+
+// Sum is also a root; early exits from map iteration are findings.
+//
+//nlft:merge
+func Sum(m map[string]int, stop string) int {
+	total := 0
+	for k, v := range m {
+		if k == stop {
+			break // want "break inside map iteration in merge path"
+		}
+		total += v
+	}
+	for k, v := range m {
+		if k == stop {
+			return v // want "return inside map iteration in merge path"
+		}
+	}
+	// A break in a non-map loop inside the map range binds to the inner
+	// loop: no finding.
+	for range m {
+		for i := 0; i < 3; i++ {
+			if i == 2 {
+				break
+			}
+		}
+	}
+	return total
+}
+
+// keepSet's overwrite sits under the caller's ordering guard, so the
+// call is not descended and the overwrite is not a finding.
+func (a *agg) keepSet(v int) {
+	a.last = v
+}
+
+// Keep is a root whose only write happens through a guarded call.
+//
+//nlft:merge
+func (a *agg) Keep(v int) {
+	if v > a.last {
+		a.keepSet(v)
+	}
+}
+
+// Untracked is not on any merge path: nothing here is checked.
+func (a *agg) Untracked(src *agg) {
+	a.last = src.last
+	a.samples = append(a.samples, src.samples...)
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func wallClock() time.Duration {
-	t0 := time.Now()     // want `time\.Now reads the host wall clock`
+	t0 := time.Now()      // want `time\.Now reads the host wall clock`
 	return time.Since(t0) // want `time\.Since reads the host wall clock`
 }
 

@@ -90,8 +90,10 @@ type CPU struct {
 	Regs  [NumRegs]uint32
 	PC    uint32
 	Flags Flags
-	Mem   *Memory
-	MMU   *MMU
+	//nlft:snapshot-skip component with its own Snapshot/Restore pair, captured separately by the node layer
+	Mem *Memory
+	//nlft:snapshot-skip component with its own Snapshot/Restore pair, captured separately by the node layer
+	MMU *MMU
 	// Cycles accumulates the cost of executed instructions.
 	Cycles uint64
 	// Retired counts executed instructions.

@@ -15,7 +15,8 @@ import (
 // measure how much of Table 1's protection ECC contributes.
 type Memory struct {
 	words []uint32
-	ecc   bool
+	//nlft:snapshot-skip immutable configuration chosen at construction
+	ecc bool
 	// pendingFlips tracks injected flip masks per word address while ECC
 	// is enabled (the stored data stays intact; the codeword is what is
 	// corrupted).
@@ -28,10 +29,12 @@ type Memory struct {
 	// CorrectedErrors counts single-bit errors repaired by ECC.
 	CorrectedErrors uint64
 	// io handles loads/stores in the I/O window, when attached.
+	//nlft:snapshot-skip attached bus wiring; the bus snapshots its own state
 	io IOBus
 	// pre is the predecoded micro-op cache (nil unless EnablePredecode;
 	// see dispatch.go). Derived state: entries validate against the live
 	// word on every fetch and never feed digests or snapshots.
+	//nlft:snapshot-skip derived predecode cache, tag-validated against live words on every fetch
 	pre []microOp
 	// dirty is the page-granular write bitmap (one bit per pageWords
 	// words) driving delta snapshots: every word mutation sets its

@@ -117,11 +117,13 @@ type Simulator struct {
 	lazy int     // canceled entries still sitting in the heap
 	seq  uint64
 	// walk is the reused traversal stack for NextEventAfter.
+	//nlft:snapshot-skip reused traversal scratch, fully rewritten before every use
 	walk    []int32
 	stopped bool
 	// fired counts events executed, exposed for tests and benchmarks.
 	fired uint64
 	// onEvent, when non-nil, observes every event execution (telemetry).
+	//nlft:snapshot-skip telemetry wiring installed per run, not rewindable simulation state
 	onEvent func(at Time, prio int)
 }
 

@@ -92,14 +92,14 @@ type worker struct {
 	visited map[memoKey]*suffixMemo
 
 	// Current-placement state read by the bound callbacks.
-	f          fault.Fault
-	kernelFlag bool
-	converged  bool
+	f           fault.Fault
+	kernelFlag  bool
+	converged   bool
 	convergedAt int
-	memo       *suffixMemo
-	memoAt     int
-	nextCheck  int
-	collectOff int
+	memo        *suffixMemo
+	memoAt      int
+	nextCheck   int
+	collectOff  int
 
 	// Reused buffers: steady-state capacity, truncate-refill per
 	// placement.
@@ -330,24 +330,33 @@ func (wk *worker) finalize(i int) (fault.TrialRecord, []Violation, error) {
 }
 
 // mergeAdd merges two name-sorted counter lists into dst, summing equal
-// names.
+// names. The appends below are order-dependent by construction — and
+// that order is the canonical name sort of the inputs, not arrival
+// order, so the result commutes in (a, b).
+//
+//nlft:merge
 func mergeAdd(dst, a, b []mechCount) []mechCount {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i].name == b[j].name:
+			//nlft:allow mergecommute two-pointer merge of name-sorted inputs; append order is the canonical sort, commutative in (a, b)
 			dst = append(dst, mechCount{name: a[i].name, n: a[i].n + b[j].n})
 			i++
 			j++
 		case a[i].name < b[j].name:
+			//nlft:allow mergecommute two-pointer merge of name-sorted inputs; append order is the canonical sort, commutative in (a, b)
 			dst = append(dst, a[i])
 			i++
 		default:
+			//nlft:allow mergecommute two-pointer merge of name-sorted inputs; append order is the canonical sort, commutative in (a, b)
 			dst = append(dst, b[j])
 			j++
 		}
 	}
+	//nlft:allow mergecommute sorted tail copy after the two-pointer walk; at most one tail is non-empty
 	dst = append(dst, a[i:]...)
+	//nlft:allow mergecommute sorted tail copy after the two-pointer walk; at most one tail is non-empty
 	dst = append(dst, b[j:]...)
 	return dst
 }

@@ -385,7 +385,7 @@ func checkPlacement(idx int, f fault.Fault, events []obs.Event, outcome fault.Ou
 	}
 	if outcome == fault.Omission || omissions > 0 {
 		out = append(out, Violation{Placement: idx, Fault: f,
-			Kind: ViolationDeadlineMiss,
+			Kind:   ViolationDeadlineMiss,
 			Detail: fmt.Sprintf("%d omission event(s), outcome %v", omissions, outcome)})
 	}
 	return out

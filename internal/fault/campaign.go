@@ -277,6 +277,9 @@ func newTally() *tally {
 	return &tally{byMechanism: make(map[string]int)}
 }
 
+// record folds one settled trial into the worker's tally.
+//
+//nlft:merge
 func (t *tally) record(rec *TrialRecord) {
 	t.counts[rec.Outcome]++
 	t.byTarget[rec.Fault.Target][rec.Outcome]++
@@ -289,6 +292,8 @@ func (t *tally) record(rec *TrialRecord) {
 // skipping empty slots so the map contents (and thus every digest or
 // report derived from them) match what the per-outcome map tallies
 // used to produce.
+//
+//nlft:merge
 func (t *tally) mergeInto(res *Result) {
 	for o, n := range t.counts {
 		if n > 0 {

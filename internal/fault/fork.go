@@ -130,9 +130,13 @@ type InstanceState struct {
 	// eventsLen the collector's event count at it (0 without a
 	// collector); fwdDigest the kernel forward digest at it (net of the
 	// phantom).
-	at        des.Time
+	//nlft:snapshot-skip capture metadata read by fork selection, set by Capture not Snapshot
+	at des.Time
+	//nlft:snapshot-skip capture metadata: golden-prefix length consumed by classification, not rewound
 	writesLen int
+	//nlft:snapshot-skip capture metadata: event-prefix length consumed by classification, not rewound
 	eventsLen int
+	//nlft:snapshot-skip capture metadata set by the convergence probe, compared not rewound
 	fwdDigest uint64
 }
 

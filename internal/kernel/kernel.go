@@ -137,13 +137,16 @@ type OutcomeInfo struct {
 // Kernel is a simulated fault-tolerant real-time kernel bound to one
 // simulated processor, driven by a des.Simulator.
 type Kernel struct {
-	cfg  Config
+	cfg Config
+	//nlft:snapshot-skip simulator wiring; the des core snapshots its own state
 	sim  *des.Simulator
 	mem  *cpu.Memory
 	mmu  *cpu.MMU
 	proc *cpu.CPU
-	env  Env
+	//nlft:snapshot-skip environment wiring installed at construction
+	env Env
 
+	//nlft:snapshot-skip name index over order; tcb state is captured through order
 	tasks map[string]*tcb
 	order []*tcb
 
@@ -161,33 +164,41 @@ type Kernel struct {
 	// context on resume: its state stayed in the registers, so faults
 	// injected while it was paused correctly take effect (the physical
 	// CPU would behave the same way).
-	procOwner   *job
-	failed      bool
-	failReason  string
-	started     bool
+	procOwner  *job
+	failed     bool
+	failReason string
+	//nlft:snapshot-skip one-way start latch; forks only happen after Start
+	started bool
+	//nlft:snapshot-skip derived from cfg at Start, immutable afterwards
 	cyclePeriod des.Time
 
 	stats Stats
 	// obsTaskCycles/obsKernelCycles are the cached cycle counters of the
 	// configured collector (nil when telemetry is off), resolved once so
 	// the per-slice accounting stays off the allocation path.
-	obsTaskCycles   *obs.Counter
+	//nlft:snapshot-skip cached collector counter pointers; the registry itself is snapshotted by obs
+	obsTaskCycles *obs.Counter
+	//nlft:snapshot-skip cached collector counter pointers; the registry itself is snapshotted by obs
 	obsKernelCycles *obs.Counter
 	// OnOutcome, when set, observes every settled release.
+	//nlft:snapshot-skip passive observer hook installed per run, not rewindable state
 	OnOutcome func(OutcomeInfo)
 	// OnFailSilent, when set, observes node shutdown.
+	//nlft:snapshot-skip passive observer hook installed per run, not rewindable state
 	OnFailSilent func(at des.Time, reason string)
 	// OnContextSwitch, when set, observes every context switch with the
 	// half-open window [start, end) during which the kernel occupies the
 	// processor (Activity reports ActivityKernel strictly inside it).
 	// The hook is passive — it is not part of the snapshot state and
 	// must not mutate the kernel.
+	//nlft:snapshot-skip passive observer hook installed per run, not rewindable state
 	OnContextSwitch func(start, end des.Time)
 
 	dispatchPending bool
 	// dispatchFn is the bound dispatch callback, created once so
 	// scheduleDispatch re-arms the pass without allocating a method-value
 	// closure per event.
+	//nlft:snapshot-skip bound method-value closure, identical across the kernel's lifetime
 	dispatchFn func()
 }
 

@@ -235,6 +235,8 @@ func (r *Registry) MechanismCounts(name string) map[string]uint64 {
 // Merge folds other into r: counters and histograms add, gauges keep the
 // maximum. All operations are commutative and associative, so any merge
 // order yields the same registry.
+//
+//nlft:merge
 func (r *Registry) Merge(other *Registry) {
 	if other == nil {
 		return

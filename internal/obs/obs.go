@@ -185,6 +185,7 @@ func (s *stream) append(e Event) {
 // campaign-level aggregates. Collectors are not synchronized; each is
 // owned by one goroutine.
 type Collector struct {
+	//nlft:snapshot-skip configuration label fixed at construction
 	node string
 	reg  *Registry
 	s    *stream
@@ -192,9 +193,13 @@ type Collector struct {
 	// Per-(node,task) cache of the events.* counters, so the common case
 	// — a run of emissions for the same task — resolves each counter by
 	// two string equality checks and an array index instead of hashing a
-	// four-string key per event.
+	// four-string key per event. Restore invalidates it (the counter
+	// pointers may be stale after the registry rewind).
+	//nlft:snapshot-skip derived lookup cache, invalidated on restore
 	cacheNode string
+	//nlft:snapshot-skip derived lookup cache, invalidated on restore
 	cacheTask string
+	//nlft:snapshot-skip derived lookup cache, invalidated on restore
 	kindCache [kindCount]*Counter
 }
 

@@ -148,8 +148,11 @@ type Stats struct {
 
 // Bus is the shared medium plus the global schedule.
 type Bus struct {
-	sim       *des.Simulator
-	cfg       Config
+	//nlft:snapshot-skip simulator wiring; the des core snapshots its own state
+	sim *des.Simulator
+	//nlft:snapshot-skip immutable configuration fixed at construction
+	cfg Config
+	//nlft:snapshot-skip derived from cfg at construction, immutable afterwards
 	owners    []NodeID // slot -> owner
 	endpoints map[NodeID]*Endpoint
 	order     []NodeID
@@ -160,17 +163,23 @@ type Bus struct {
 	// (fault injection).
 	corruptNext map[int]bool
 	stats       Stats
-	started     bool
-	dynSeq      uint64
+	//nlft:snapshot-skip one-way start latch; forks only happen after Start
+	started bool
+	dynSeq  uint64
 
 	// Bound schedule callbacks, created once at Start so the cyclic
 	// schedule re-arms its events without allocating a closure per slot
 	// per cycle: slotFns[i] runs static slot i, deliverFns[i] delivers
 	// the frame staged in pendingFrame[i].
-	slotFns      []func()
-	deliverFns   []func()
+	//nlft:snapshot-skip bound schedule closures, identical across the bus's lifetime
+	slotFns []func()
+	//nlft:snapshot-skip bound schedule closures, identical across the bus's lifetime
+	deliverFns []func()
+	//nlft:snapshot-skip bound schedule closures, identical across the bus's lifetime
 	runDynamicFn func()
-	endCycleFn   func()
+	//nlft:snapshot-skip bound schedule closures, identical across the bus's lifetime
+	endCycleFn func()
+	//nlft:snapshot-skip bound schedule closures, identical across the bus's lifetime
 	deliverDynFn func()
 	// pendingFrame stages each slot's frame between transmission and
 	// end-of-slot delivery.
@@ -178,11 +187,13 @@ type Bus struct {
 	// dynScratch and dynPend are the dynamic segment's reused buffers:
 	// dynScratch collects and orders the cycle's messages, dynPend is the
 	// FIFO of frames awaiting delivery (deliverDynFn pops dynHead).
+	//nlft:snapshot-skip reused arbitration scratch, fully rewritten within each dynamic segment
 	dynScratch []dynEntry
 	dynPend    []Frame
 	dynHead    int
 	// viewScratch is the reused membership view handed to onCycle; the
 	// callback contract is that the map is only valid during the call.
+	//nlft:snapshot-skip reused callback scratch, only valid during the onCycle call
 	viewScratch map[NodeID]bool
 }
 
