@@ -14,12 +14,12 @@ package nlft
 // is a stable artifact, not a timing.
 
 import (
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/benchjson"
 	"repro/internal/fault"
 	"repro/internal/stats"
 )
@@ -28,11 +28,9 @@ import (
 const benchAdaptiveWidth = 0.01
 
 type benchAdaptiveDoc struct {
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	Outcome    string  `json:"outcome"`
-	CIWidth    float64 `json:"ci_width_target"`
+	benchjson.Header
+	Outcome string  `json:"outcome"`
+	CIWidth float64 `json:"ci_width_target"`
 
 	AdaptiveTrials int     `json:"adaptive_trials"`
 	AdaptiveRounds int     `json:"adaptive_rounds"`
@@ -129,9 +127,7 @@ func BenchmarkCampaignAdaptive(b *testing.B) {
 		est := res.Estimate(fault.FailSilent)
 		benchAdaptiveOut.mu.Lock()
 		benchAdaptiveOut.doc = &benchAdaptiveDoc{
-			GoVersion:        runtime.Version(),
-			GOMAXPROCS:       runtime.GOMAXPROCS(0),
-			NumCPU:           runtime.NumCPU(),
+			Header:           benchjson.NewHeader(),
 			Outcome:          fault.FailSilent.String(),
 			CIWidth:          benchAdaptiveWidth,
 			AdaptiveTrials:   res.Trials,

@@ -13,10 +13,10 @@ package nlft
 // internal/exhaust).
 
 import (
-	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/benchjson"
 	"repro/internal/exhaust"
 	"repro/internal/fault"
 )
@@ -44,10 +44,8 @@ var benchExhaustOut struct {
 }
 
 type benchExhaustDoc struct {
-	GoVersion  string              `json:"go_version"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	NumCPU     int                 `json:"num_cpu"`
-	Points     []exhaustBenchPoint `json:"exhaust_verify,omitempty"`
+	benchjson.Header
+	Points []exhaustBenchPoint `json:"exhaust_verify,omitempty"`
 }
 
 // exhaustBenchConfig is the benchmarked space: the gate
@@ -151,10 +149,8 @@ func emitBenchExhaust() *benchExhaustDoc {
 		return nil
 	}
 	doc := &benchExhaustDoc{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Points:     benchExhaustOut.Points,
+		Header: benchjson.NewHeader(),
+		Points: benchExhaustOut.Points,
 	}
 	var base float64
 	for _, p := range doc.Points {

@@ -10,10 +10,10 @@ package nlft
 // baseline on the standard workload.
 
 import (
-	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/benchjson"
 	"repro/internal/des"
 	"repro/internal/fault"
 )
@@ -41,10 +41,8 @@ var benchForkOut struct {
 }
 
 type benchForkDoc struct {
-	GoVersion  string           `json:"go_version"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	NumCPU     int              `json:"num_cpu"`
-	Points     []forkBenchPoint `json:"campaign_fork,omitempty"`
+	benchjson.Header
+	Points []forkBenchPoint `json:"campaign_fork,omitempty"`
 }
 
 // BenchmarkCampaignFork contrasts the checkpoint/fork engine against the
@@ -130,10 +128,8 @@ func emitBenchFork() *benchForkDoc {
 		return nil
 	}
 	doc := &benchForkDoc{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Points:     benchForkOut.Points,
+		Header: benchjson.NewHeader(),
+		Points: benchForkOut.Points,
 	}
 	base := map[bool]float64{}
 	for _, p := range doc.Points {

@@ -10,13 +10,12 @@ package nlft
 // seeds the perf trajectory for later PRs.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/benchjson"
 	"repro/internal/core"
 	"repro/internal/fault"
 )
@@ -46,96 +45,56 @@ var benchParallelOut struct {
 }
 
 type benchParallelDoc struct {
-	GoVersion  string               `json:"go_version"`
-	GOMAXPROCS int                  `json:"gomaxprocs"`
-	NumCPU     int                  `json:"num_cpu"`
-	Note       string               `json:"note,omitempty"`
-	Campaign   []campaignScalePoint `json:"campaign_scaling,omitempty"`
-	Series     *seriesBenchResult   `json:"transient_series,omitempty"`
+	benchjson.Header
+	Note     string               `json:"note,omitempty"`
+	Campaign []campaignScalePoint `json:"campaign_scaling,omitempty"`
+	Series   *seriesBenchResult   `json:"transient_series,omitempty"`
 }
 
 func TestMain(m *testing.M) {
+	// The sharded-campaign benchmark re-execs this binary as worker
+	// processes; a child never reaches m.Run.
+	if shardWorkerChild() {
+		return
+	}
 	code := m.Run()
-	if path := os.Getenv("BENCH_PARALLEL_JSON"); path != "" {
-		benchParallelOut.mu.Lock()
-		doc := benchParallelDoc{
-			GoVersion:  runtime.Version(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-			Campaign:   benchParallelOut.Campaign,
-			Series:     benchParallelOut.Series,
-		}
-		benchParallelOut.mu.Unlock()
-		if doc.NumCPU == 1 {
-			doc.Note = "single-CPU host: campaign scaling is bounded at ~1x regardless of worker count; results stay bit-identical"
-		}
-		var serial float64
-		for _, p := range doc.Campaign {
-			if p.Workers == 1 {
-				serial = p.NsPerOp
-			}
-		}
-		if serial > 0 {
-			for i := range doc.Campaign {
-				doc.Campaign[i].SpeedupVsSerial = serial / doc.Campaign[i].NsPerOp
-			}
-		}
-		if doc.Campaign != nil || doc.Series != nil {
-			out, err := json.MarshalIndent(doc, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(out, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_PARALLEL_JSON:", err)
-				if code == 0 {
-					code = 1
-				}
-			}
-		}
-	}
-	if path := os.Getenv("BENCH_FORK_JSON"); path != "" {
-		if doc := emitBenchFork(); doc != nil {
-			out, err := json.MarshalIndent(doc, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(out, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_FORK_JSON:", err)
-				if code == 0 {
-					code = 1
-				}
-			}
-		}
-	}
-	if path := os.Getenv("BENCH_ADAPTIVE_JSON"); path != "" {
-		if doc := emitBenchAdaptive(); doc != nil {
-			out, err := json.MarshalIndent(doc, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(out, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_ADAPTIVE_JSON:", err)
-				if code == 0 {
-					code = 1
-				}
-			}
-		}
-	}
-	if path := os.Getenv("BENCH_EXHAUST_JSON"); path != "" {
-		if doc := emitBenchExhaust(); doc != nil {
-			out, err := json.MarshalIndent(doc, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(out, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_EXHAUST_JSON:", err)
-				if code == 0 {
-					code = 1
-				}
-			}
-		}
-	}
+	code = benchjson.EmitFunc("BENCH_PARALLEL_JSON", code, emitBenchParallel)
+	code = benchjson.EmitFunc("BENCH_FORK_JSON", code, emitBenchFork)
+	code = benchjson.EmitFunc("BENCH_ADAPTIVE_JSON", code, emitBenchAdaptive)
+	code = benchjson.EmitFunc("BENCH_EXHAUST_JSON", code, emitBenchExhaust)
+	code = benchjson.EmitFunc("BENCH_SHARD_JSON", code, emitBenchShard)
 	os.Exit(code)
+}
+
+// emitBenchParallel marshals the accumulated scaling points, pairing
+// speedups against the one-worker point, and returns the document (nil
+// if nothing ran).
+func emitBenchParallel() *benchParallelDoc {
+	benchParallelOut.mu.Lock()
+	doc := &benchParallelDoc{
+		Header:   benchjson.NewHeader(),
+		Campaign: benchParallelOut.Campaign,
+		Series:   benchParallelOut.Series,
+	}
+	benchParallelOut.mu.Unlock()
+	if doc.Campaign == nil && doc.Series == nil {
+		return nil
+	}
+	if doc.NumCPU == 1 {
+		doc.Note = "single-CPU host: campaign scaling is bounded at ~1x regardless of worker count; results stay bit-identical"
+	}
+	var serial float64
+	for _, p := range doc.Campaign {
+		if p.Workers == 1 {
+			serial = p.NsPerOp
+		}
+	}
+	if serial > 0 {
+		for i := range doc.Campaign {
+			doc.Campaign[i].SpeedupVsSerial = serial / doc.Campaign[i].NsPerOp
+		}
+	}
+	return doc
 }
 
 // BenchmarkCampaignParallel measures fault-injection campaign throughput

@@ -1,0 +1,192 @@
+package nlft
+
+// Benchmark for the sharded campaign orchestrator. Running
+//
+//	BENCH_SHARD_JSON=BENCH_shard.json go test -run=NONE -bench=CampaignSharded .
+//
+// writes the measured numbers to the named file; without the variable
+// the benchmark only reports metrics. The benchmark re-execs this test
+// binary as real worker processes (shardWorkerChild in TestMain) so the
+// measured path is the shipping one: coordinator HTTP API, leases,
+// streamed completions, commutative merges. Every worker count produces
+// a bit-identical result (TestShardedEqualsSerial in internal/shard);
+// this benchmark only asks what process scale-out buys in wall clock.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchjson"
+	"repro/internal/shard"
+)
+
+// shardWorkerEnv carries the coordinator URL into re-exec'd worker
+// children; shardWorkerParallelEnv their slot count (default 1, so the
+// benchmark scales processes, not goroutines).
+const (
+	shardWorkerEnv         = "NLFT_SHARD_WORKER"
+	shardWorkerParallelEnv = "NLFT_SHARD_WORKER_PARALLEL"
+)
+
+// shardWorkerChild turns this test binary into a campaign worker when
+// the benchmark re-execs it. It reports true after the worker exits
+// (on coordinator shutdown); TestMain then returns without running any
+// tests.
+func shardWorkerChild() bool {
+	url := os.Getenv(shardWorkerEnv)
+	if url == "" {
+		return false
+	}
+	par, _ := strconv.Atoi(os.Getenv(shardWorkerParallelEnv))
+	if par <= 0 {
+		par = 1
+	}
+	w := &shard.Worker{
+		Transport:   &shard.Client{Base: url},
+		Name:        fmt.Sprintf("bench-%d", os.Getpid()),
+		Parallelism: par,
+		Poll:        2 * time.Millisecond,
+	}
+	_ = w.Run(context.Background()) // exits on transport error when the server closes
+	return true
+}
+
+type shardScalePoint struct {
+	WorkerProcs  int     `json:"worker_procs"`
+	Trials       int     `json:"trials"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	// SpeedupVsSingle is filled in when the file is written.
+	SpeedupVsSingle float64 `json:"speedup_vs_single_process"`
+}
+
+var benchShardOut struct {
+	mu     sync.Mutex
+	Points []shardScalePoint
+}
+
+type benchShardDoc struct {
+	benchjson.Header
+	Note   string            `json:"note,omitempty"`
+	Points []shardScalePoint `json:"campaign_sharded,omitempty"`
+}
+
+// emitBenchShard marshals the accumulated scaling points, pairing
+// speedups against the one-process point, and returns the document
+// (nil if nothing ran). Called from TestMain.
+func emitBenchShard() *benchShardDoc {
+	benchShardOut.mu.Lock()
+	defer benchShardOut.mu.Unlock()
+	if len(benchShardOut.Points) == 0 {
+		return nil
+	}
+	doc := &benchShardDoc{
+		Header: benchjson.NewHeader(),
+		Points: benchShardOut.Points,
+	}
+	if doc.NumCPU == 1 {
+		doc.Note = "single-CPU host: process scale-out is bounded at ~1x regardless of worker count; results stay bit-identical"
+	}
+	var single float64
+	for _, p := range doc.Points {
+		if p.WorkerProcs == 1 {
+			single = p.NsPerOp
+		}
+	}
+	if single > 0 {
+		for i := range doc.Points {
+			doc.Points[i].SpeedupVsSingle = single / doc.Points[i].NsPerOp
+		}
+	}
+	return doc
+}
+
+// BenchmarkCampaignSharded measures end-to-end campaign throughput
+// against the number of worker processes: a coordinator in this
+// process, 1/2/4 re-exec'd single-slot workers over real HTTP, one
+// campaign per op.
+func BenchmarkCampaignSharded(b *testing.B) {
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := shard.CampaignSpec{Trials: 512, Seed: 42, ECC: true, LeaseSize: 64}
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", procs), func(b *testing.B) {
+			coord := shard.NewCoordinator(shard.CoordinatorOptions{})
+			srv := httptest.NewServer(coord.Handler())
+			var workers []*exec.Cmd
+			defer func() {
+				srv.Close() // workers exit on their next transport call
+				for _, cmd := range workers {
+					_ = cmd.Wait()
+				}
+			}()
+			for i := 0; i < procs; i++ {
+				cmd := exec.Command(exe)
+				cmd.Env = append(os.Environ(), shardWorkerEnv+"="+srv.URL)
+				if err := cmd.Start(); err != nil {
+					b.Fatal(err)
+				}
+				workers = append(workers, cmd)
+			}
+			client := &shard.Client{Base: srv.URL}
+			runOnce := func() {
+				id, err := client.Submit(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deadline := time.Now().Add(2 * time.Minute)
+				for {
+					p, err := client.Progress(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if p.Done {
+						return
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("campaign %s stalled at %d/%d trials", id, p.Completed, p.Trials)
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+			// Warm the workers' runner caches (golden run + checkpoint
+			// capture are per-campaign-spec, paid once per process).
+			runOnce()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runOnce()
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(spec.Trials)/(ns/1e9), "trials/s")
+			pt := shardScalePoint{
+				WorkerProcs:  procs,
+				Trials:       spec.Trials,
+				NsPerOp:      ns,
+				TrialsPerSec: float64(spec.Trials) / (ns / 1e9),
+			}
+			// Keep only the final (longest) calibration run per count.
+			benchShardOut.mu.Lock()
+			replaced := false
+			for i := range benchShardOut.Points {
+				if benchShardOut.Points[i].WorkerProcs == procs {
+					benchShardOut.Points[i] = pt
+					replaced = true
+				}
+			}
+			if !replaced {
+				benchShardOut.Points = append(benchShardOut.Points, pt)
+			}
+			benchShardOut.mu.Unlock()
+		})
+	}
+}

@@ -7,10 +7,26 @@
 //
 //	faultcampaign [-trials N] [-seed S] [-ecc] [-compute N] [-targets list]
 //	              [-parallel N] [-cpuprofile file] [-memprofile file] [-progress]
-//	              [-metrics-out file] [-trace-out file]
+//	              [-metrics-out file] [-trace-out file] [-digest]
 //	              [-no-fork] [-snapshot-interval d] [-snapshot-stats]
 //	              [-converge-cutoff=false]
 //	              [-adaptive] [-strata N] [-ci-width f] [-ci-outcome o] [-max-trials N]
+//	              [-config file] [-dump-config]
+//	faultcampaign -serve addr [-lease-ttl d]
+//	faultcampaign -worker url [-name s] [-parallel N] [-poll d]
+//	faultcampaign -submit url [-trials N] [-seed S] [-lease-size N] ...
+//
+// The three -serve/-worker/-submit modes shard one campaign across
+// processes: a coordinator slices the trial range into leases, workers
+// lease ranges and stream back results, and the merged result — printed
+// by -submit together with its digest — is bit-identical to the same
+// campaign run locally (compare with a local run's -digest). Lost
+// workers are detected by lease expiry and their ranges re-leased.
+//
+// All flags live in one validated configuration: -dump-config prints it
+// as JSON, -config loads that JSON back (explicit flags still win), and
+// contradictory combinations (say -worker with -adaptive, or -quantum
+// without -exhaustive) are errors rather than silent no-ops.
 //
 // -adaptive replaces uniform sampling with the adaptive stratified
 // engine (internal/adapt): the fault space is stratified by (target ×
@@ -39,14 +55,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"time"
 
 	nlft "repro"
 	"repro/internal/exhaust"
@@ -55,33 +69,26 @@ import (
 )
 
 func main() {
-	trials := flag.Int("trials", 1000, "number of injection runs")
-	seed := flag.Uint64("seed", 1, "campaign RNG seed")
-	ecc := flag.Bool("ecc", true, "enable the memory ECC model (the paper's assumption)")
-	compute := flag.Int("compute", 64, "workload inner-loop iterations (duty cycle)")
-	targetsFlag := flag.String("targets", "", "comma-separated fault targets: register,pc,sp,alu,mem-data,mem-code (default all)")
-	derive := flag.Bool("derive", false, "also derive model parameters and print the headline comparison")
-	parallel := flag.Int("parallel", 0, "worker goroutines for the campaign (0 = GOMAXPROCS); results are identical for any value")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	metricsOut := flag.String("metrics-out", "", "export the merged metrics registry (JSON, or CSV if the name ends in .csv)")
-	traceOut := flag.String("trace-out", "", "export the merged per-trial event stream as JSONL (trial 0 = golden run)")
-	progress := flag.Bool("progress", false, "report live trial progress on stderr")
-	exhaustive := flag.Bool("exhaustive", false, "replace random sampling with the full enumeration of every (quantum × target × locus × bit) placement in one hyperperiod; -trials and -seed are ignored")
-	quantum := flag.Duration("quantum", 50*time.Microsecond, "placement spacing for -exhaustive")
-	noFork := flag.Bool("no-fork", false, "disable the checkpoint/fork engine and simulate every trial from t=0 (results are identical either way)")
-	snapshotInterval := flag.Duration("snapshot-interval", 0, "fork checkpoint spacing (0 = default 250µs, or the workload's hint when finer)")
-	snapshotStats := flag.Bool("snapshot-stats", false, "report the fork engine's checkpoint-store traffic (delta vs full-image bytes, pages copied/restored)")
-	convergeCutoff := flag.Bool("converge-cutoff", true, "stop a forked trial early once its state digest reconverges with the golden run (classification-only campaigns)")
-	adaptive := flag.Bool("adaptive", false, "use the adaptive stratified sampling engine: Neyman allocation over (target × time) strata with importance splitting; -trials is ignored (see -max-trials, -ci-width)")
-	strata := flag.Int("strata", 0, "base time buckets per target for -adaptive (0 = default 4); splitting refines below this grid")
-	ciWidth := flag.Float64("ci-width", 0, "stop an -adaptive campaign once the 95% CI for -ci-outcome is narrower than this full width (0 = run to -max-trials)")
-	ciOutcome := flag.String("ci-outcome", "fail-silent", "outcome whose estimate drives -ci-width and the adaptive allocation")
-	maxTrials := flag.Int("max-trials", 0, "sampled-trial cap for -adaptive (0 = default 100000)")
-	flag.Parse()
+	cfg, set, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if cfg.DumpConfig {
+		b, err := cfg.dump()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	if err := cfg.Validate(set); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(2)
+	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 			os.Exit(1)
@@ -93,29 +100,23 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := outputOptions{
-		MetricsOut:       *metricsOut,
-		TraceOut:         *traceOut,
-		Progress:         *progress,
-		NoFork:           *noFork,
-		SnapshotInterval: nlft.Time(*snapshotInterval),
-		SnapshotStats:    *snapshotStats,
-		NoConvergeCutoff: !*convergeCutoff,
-		Exhaustive:       *exhaustive,
-		Quantum:          nlft.Time(*quantum),
-		Adaptive:         *adaptive,
-		Strata:           *strata,
-		CIWidth:          *ciWidth,
-		CIOutcome:        *ciOutcome,
-		MaxTrials:        *maxTrials,
+	switch cfg.mode() {
+	case "serve":
+		err = runServe(cfg)
+	case "worker":
+		err = runWorkerMode(cfg)
+	case "submit":
+		err = runSubmit(cfg)
+	default:
+		err = run(cfg)
 	}
-	if err := run(*trials, *seed, *ecc, *compute, *targetsFlag, *derive, *parallel, opts); err != nil {
+	if err != nil {
 		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 		os.Exit(1)
 	}
-	if *memprofile != "" {
-		if err := writeMemProfile(*memprofile); err != nil {
+	if cfg.MemProfile != "" {
+		if err := writeMemProfile(cfg.MemProfile); err != nil {
 			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 			os.Exit(1)
 		}
@@ -134,24 +135,6 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-// outputOptions bundles the telemetry- and fork-related flags.
-type outputOptions struct {
-	MetricsOut       string
-	TraceOut         string
-	Progress         bool
-	NoFork           bool
-	SnapshotInterval nlft.Time
-	SnapshotStats    bool
-	NoConvergeCutoff bool
-	Exhaustive       bool
-	Quantum          nlft.Time
-	Adaptive         bool
-	Strata           int
-	CIWidth          float64
-	CIOutcome        string
-	MaxTrials        int
-}
-
 // parseOutcome resolves an outcome by its String name.
 func parseOutcome(name string) (fault.Outcome, error) {
 	for _, o := range fault.AllOutcomes() {
@@ -164,29 +147,29 @@ func parseOutcome(name string) (fault.Outcome, error) {
 
 // runAdaptive runs the adaptive stratified campaign and reports the
 // per-stratum allocation alongside the usual parameter estimates.
-func runAdaptive(w nlft.Workload, seed uint64, targets []fault.Target, parallel int, opts outputOptions) error {
-	outcome, err := parseOutcome(opts.CIOutcome)
+func runAdaptive(w nlft.Workload, targets []fault.Target, cfg *cliConfig) error {
+	outcome, err := parseOutcome(cfg.CIOutcome)
 	if err != nil {
 		return err
 	}
-	cfg := nlft.AdaptiveConfig{
-		Seed:             seed,
+	acfg := nlft.AdaptiveConfig{
+		Seed:             cfg.Seed,
 		Targets:          targets,
-		Buckets:          opts.Strata,
-		MaxTrials:        opts.MaxTrials,
-		CIWidth:          opts.CIWidth,
+		Buckets:          cfg.Strata,
+		MaxTrials:        cfg.MaxTrials,
+		CIWidth:          cfg.CIWidth,
 		CIOutcome:        outcome,
-		Parallelism:      parallel,
-		NoFork:           opts.NoFork,
-		SnapshotInterval: opts.SnapshotInterval,
+		Parallelism:      cfg.Parallel,
+		NoFork:           cfg.NoFork,
+		SnapshotInterval: nlft.Time(cfg.SnapshotInterval),
 	}
-	if opts.Progress {
-		cfg.OnRound = func(ri nlft.AdaptiveRoundInfo) {
+	if cfg.Progress {
+		acfg.OnRound = func(ri nlft.AdaptiveRoundInfo) {
 			fmt.Fprintf(os.Stderr, "round %d: +%d trials (%d total), %d strata, P(%v) = %v\n",
 				ri.Round, ri.Allocated, ri.Trials, ri.Strata, outcome, ri.Estimate)
 		}
 	}
-	res, err := nlft.RunAdaptiveCampaign(w, cfg)
+	res, err := nlft.RunAdaptiveCampaign(w, acfg)
 	if err != nil {
 		return err
 	}
@@ -215,41 +198,42 @@ func parseTargets(spec string) ([]fault.Target, error) {
 	return out, nil
 }
 
-func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, derive bool, parallel int, opts outputOptions) error {
-	targets, err := parseTargets(targetsFlag)
+// run executes the campaign locally in this process.
+func run(cfg *cliConfig) error {
+	targets, err := parseTargets(cfg.Targets)
 	if err != nil {
 		return err
 	}
-	w := nlft.NewStdWorkload(nlft.StdWorkloadConfig{ECC: ecc, Compute: compute})
-	if opts.Adaptive {
-		return runAdaptive(w, seed, targets, parallel, opts)
+	w := nlft.NewStdWorkload(nlft.StdWorkloadConfig{ECC: cfg.ECC, Compute: cfg.Compute})
+	if cfg.Adaptive {
+		return runAdaptive(w, targets, cfg)
 	}
-	cfg := nlft.CampaignConfig{
-		Trials: trials, Seed: seed, Targets: targets, Parallelism: parallel,
-		Telemetry:        opts.MetricsOut != "",
-		TelemetryEvents:  opts.TraceOut != "",
-		NoFork:           opts.NoFork,
-		SnapshotInterval: opts.SnapshotInterval,
-		NoConvergeCutoff: opts.NoConvergeCutoff,
+	ccfg := nlft.CampaignConfig{
+		Trials: cfg.Trials, Seed: cfg.Seed, Targets: targets, Parallelism: cfg.Parallel,
+		Telemetry:        cfg.MetricsOut != "",
+		TelemetryEvents:  cfg.TraceOut != "",
+		NoFork:           cfg.NoFork,
+		SnapshotInterval: nlft.Time(cfg.SnapshotInterval),
+		NoConvergeCutoff: !cfg.ConvergeCutoff,
 	}
-	if opts.Exhaustive {
+	if cfg.Exhaustive {
 		// Exhaustive mode: the campaign runs the full enumerated plan
 		// instead of sampling, so the reported per-class fractions are
 		// exact population values (the confidence intervals collapse to
 		// sampling noise of zero in the limit; they are still printed).
 		space, err := exhaust.NewSpace(w, &exhaust.Config{
-			Quantum: opts.Quantum, Targets: targets,
+			Quantum: nlft.Time(cfg.Quantum), Targets: targets,
 		})
 		if err != nil {
 			return err
 		}
-		cfg.Plan = space.Faults()
+		ccfg.Plan = space.Faults()
 		fmt.Printf("exhaustive mode: %d placements = %d quanta × %d (target,locus,bit) over [%v, %v) @ %v\n",
 			space.Len(), space.Quanta, space.PerQuantum, space.Start, space.End, space.Quantum)
 	}
-	if opts.Progress {
+	if cfg.Progress {
 		lastPct := -1
-		cfg.OnProgress = func(done, total int) {
+		ccfg.OnProgress = func(done, total int) {
 			pct := done * 100 / total
 			if pct/5 > lastPct/5 || done == total {
 				fmt.Fprintf(os.Stderr, "\rprogress: %d/%d trials (%d%%)", done, total, pct)
@@ -260,7 +244,7 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 			}
 		}
 	}
-	res, err := nlft.RunCampaign(w, cfg)
+	res, err := nlft.RunCampaign(w, ccfg)
 	if err != nil {
 		return err
 	}
@@ -280,7 +264,7 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 		fmt.Println()
 	}
 
-	if opts.SnapshotStats {
+	if cfg.SnapshotStats {
 		if s := res.Snapshots; s != nil {
 			fmt.Println("\ncheckpoint-store traffic (fork engine):")
 			fmt.Printf("  checkpoints:     %d per worker × %d workers\n", s.Checkpoints, s.Workers)
@@ -311,22 +295,25 @@ func run(trials int, seed uint64, ecc bool, compute int, targetsFlag string, der
 			fmt.Printf("  %-18s %6d\n", m+":", byMech[m])
 		}
 	}
-	if opts.MetricsOut != "" {
-		if err := res.Metrics.WriteMetricsFile(opts.MetricsOut); err != nil {
+	if cfg.MetricsOut != "" {
+		if err := res.Metrics.WriteMetricsFile(cfg.MetricsOut); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote metrics to %s\n", opts.MetricsOut)
+		fmt.Printf("\nwrote metrics to %s\n", cfg.MetricsOut)
 	}
-	if opts.TraceOut != "" {
+	if cfg.TraceOut != "" {
 		events := append(append([]obs.Event{}, res.GoldenEvents...), res.Events...)
-		if err := obs.WriteEventsFile(opts.TraceOut, events); err != nil {
+		if err := obs.WriteEventsFile(cfg.TraceOut, events); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d events to %s\n", len(events), opts.TraceOut)
+		fmt.Printf("wrote %d events to %s\n", len(events), cfg.TraceOut)
+	}
+	if cfg.Digest {
+		fmt.Printf("\ncampaign digest: %#x\n", res.Digest())
 	}
 
-	if derive {
-		derived, _, err := nlft.DeriveParams(nlft.PaperParams(), w, cfg)
+	if cfg.Derive {
+		derived, _, err := nlft.DeriveParams(nlft.PaperParams(), w, ccfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// runServe hosts the coordinator API until the process is killed.
+// State is in-memory: a coordinator restart re-runs campaigns, it never
+// serves a wrong result (every completed campaign is bit-identical to
+// the serial run by construction).
+func runServe(cfg *cliConfig) error {
+	c := shard.NewCoordinator(shard.CoordinatorOptions{
+		LeaseTTL: time.Duration(cfg.LeaseTTL),
+	})
+	fmt.Fprintf(os.Stderr, "faultcampaign: coordinator on %s (lease TTL %s)\n",
+		cfg.Serve, time.Duration(cfg.LeaseTTL))
+	srv := &http.Server{Addr: cfg.Serve, Handler: c.Handler()}
+	return srv.ListenAndServe()
+}
+
+// runWorkerMode leases and runs trial ranges until the coordinator goes
+// away. A transport error ends the process; the coordinator re-leases
+// whatever this worker held once the lease TTL lapses.
+func runWorkerMode(cfg *cliConfig) error {
+	w := &shard.Worker{
+		Transport:   &shard.Client{Base: cfg.Worker},
+		Name:        workerName(cfg.Name),
+		Parallelism: cfg.Parallel,
+		Poll:        time.Duration(cfg.Poll),
+	}
+	if cfg.Progress {
+		w.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "faultcampaign: worker %s polling %s\n", w.Name, cfg.Worker)
+	return w.Run(context.Background())
+}
+
+// runSubmit posts the campaign, polls until completion, and prints the
+// coordinator's summary plus the result digest.
+func runSubmit(cfg *cliConfig) error {
+	spec, err := cfg.spec()
+	if err != nil {
+		return err
+	}
+	client := &shard.Client{Base: cfg.Submit}
+	id, err := client.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "faultcampaign: campaign %s (%d trials) submitted to %s\n",
+		id, spec.Trials, cfg.Submit)
+	poll := time.Duration(cfg.Poll)
+	if poll <= 0 {
+		poll = shard.DefaultPoll
+	}
+	lastDone := -1
+	for {
+		p, err := client.Progress(id)
+		if err != nil {
+			return err
+		}
+		if cfg.Progress && p.Completed != lastDone {
+			fmt.Fprintf(os.Stderr, "\rprogress: %d/%d trials (%d leased)", p.Completed, p.Trials, p.Leased)
+			lastDone = p.Completed
+		}
+		if p.Done {
+			if cfg.Progress {
+				fmt.Fprintln(os.Stderr)
+			}
+			break
+		}
+		time.Sleep(poll)
+	}
+	sum, err := client.Summary(id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum.Text)
+	fmt.Printf("\ncampaign digest: %s\n", sum.Digest)
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package benchjson is the shared emitter for the committed
+// BENCH_*.json perf records: one environment header and one
+// write-to-$ENV_VAR path, so every bench file carries the same
+// machine-readable shape without copying the plumbing.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Header is the environment stamp every benchmark document starts
+// with. Embed it first so the JSON leads with the host facts.
+type Header struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// NewHeader stamps the current process environment.
+func NewHeader() Header {
+	return Header{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// WriteFile renders doc as indented JSON with a trailing newline —
+// the committed BENCH_*.json format.
+func WriteFile(path string, doc any) error {
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// EmitFunc writes build()'s document to the file named by $envVar.
+// It is a no-op when the variable is unset or build returns nil (no
+// results were collected). The returned code replaces the TestMain
+// exit code: unchanged on success, 1 when a write failed and the run
+// was otherwise clean.
+func EmitFunc[T any](envVar string, code int, build func() *T) int {
+	path := os.Getenv(envVar)
+	if path == "" {
+		return code
+	}
+	doc := build()
+	if doc == nil {
+		return code
+	}
+	if err := WriteFile(path, doc); err != nil {
+		fmt.Fprintln(os.Stderr, envVar+":", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}

@@ -1,0 +1,90 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHeader(t *testing.T) {
+	h := NewHeader()
+	if h.GoVersion != runtime.Version() || h.NumCPU != runtime.NumCPU() || h.GOMAXPROCS < 1 {
+		t.Errorf("header %+v", h)
+	}
+}
+
+type testDoc struct {
+	Header
+	Value int `json:"value"`
+}
+
+// TestWriteFile: the header fields lead the document (embedded-first
+// field order) and the file ends in a newline, matching the committed
+// BENCH_*.json format.
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, &testDoc{Header: NewHeader(), Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.HasPrefix(s, "{\n  \"go_version\":") {
+		t.Errorf("header not first:\n%s", s)
+	}
+	if !strings.HasSuffix(s, "}\n") {
+		t.Errorf("missing trailing newline:\n%q", s)
+	}
+	if !strings.Contains(s, "\"value\": 7") {
+		t.Errorf("payload missing:\n%s", s)
+	}
+}
+
+func TestEmitFunc(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	// Unset variable: no file, code unchanged, build never called.
+	if code := EmitFunc("BENCHJSON_TEST_UNSET", 0, func() *testDoc {
+		t.Error("build called with unset env var")
+		return nil
+	}); code != 0 {
+		t.Errorf("code %d", code)
+	}
+
+	t.Setenv("BENCHJSON_TEST_OUT", path)
+	// Nil document: skip without error.
+	if code := EmitFunc("BENCHJSON_TEST_OUT", 0, func() *testDoc { return nil }); code != 0 {
+		t.Errorf("nil doc: code %d", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("file written for nil doc: %v", err)
+	}
+	// Real document: written, code preserved.
+	if code := EmitFunc("BENCHJSON_TEST_OUT", 0, func() *testDoc {
+		return &testDoc{Header: NewHeader(), Value: 3}
+	}); code != 0 {
+		t.Errorf("code %d", code)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("file not written: %v", err)
+	}
+	// A test failure's exit code survives a successful emit.
+	if code := EmitFunc("BENCHJSON_TEST_OUT", 2, func() *testDoc {
+		return &testDoc{Value: 1}
+	}); code != 2 {
+		t.Errorf("code %d, want 2", code)
+	}
+
+	// Unwritable path: a clean run turns into exit 1.
+	t.Setenv("BENCHJSON_TEST_OUT", filepath.Join(dir, "missing", "bench.json"))
+	if code := EmitFunc("BENCHJSON_TEST_OUT", 0, func() *testDoc {
+		return &testDoc{Value: 1}
+	}); code != 1 {
+		t.Errorf("write failure: code %d, want 1", code)
+	}
+}

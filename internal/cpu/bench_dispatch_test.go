@@ -11,12 +11,11 @@ package cpu
 // decoder on a checksum-style compute loop.
 
 import (
-	"encoding/json"
-	"fmt"
 	"os"
-	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/benchjson"
 )
 
 // benchDispatchSrc mirrors the standard campaign workload's compute
@@ -59,10 +58,8 @@ var benchCPUOut struct {
 }
 
 type benchCPUDoc struct {
-	GoVersion  string          `json:"go_version"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Points     []cpuBenchPoint `json:"cpu_dispatch,omitempty"`
+	benchjson.Header
+	Points []cpuBenchPoint `json:"cpu_dispatch,omitempty"`
 }
 
 // BenchmarkCPUDispatch contrasts the per-step interpretive decoder with
@@ -146,38 +143,33 @@ func BenchmarkCPUDispatch(b *testing.B) {
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if path := os.Getenv("BENCH_CPU_JSON"); path != "" {
-		benchCPUOut.mu.Lock()
-		doc := benchCPUDoc{
-			GoVersion:  runtime.Version(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-			Points:     benchCPUOut.Points,
-		}
-		benchCPUOut.mu.Unlock()
-		if doc.Points != nil {
-			base := map[bool]float64{}
-			for _, p := range doc.Points {
-				if p.Engine == "interpretive" {
-					base[p.MMU] = p.NsPerInstr
-				}
-			}
-			for i := range doc.Points {
-				if b := base[doc.Points[i].MMU]; b > 0 && doc.Points[i].Engine == "predecoded" {
-					doc.Points[i].SpeedupVsInterpretive = b / doc.Points[i].NsPerInstr
-				}
-			}
-			out, err := json.MarshalIndent(doc, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(out, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_CPU_JSON:", err)
-				if code == 0 {
-					code = 1
-				}
-			}
+	code = benchjson.EmitFunc("BENCH_CPU_JSON", code, emitBenchCPU)
+	os.Exit(code)
+}
+
+// emitBenchCPU marshals the accumulated points, pairing each predecoded
+// engine with its interpretive baseline, and returns the document (nil
+// if nothing ran).
+func emitBenchCPU() *benchCPUDoc {
+	benchCPUOut.mu.Lock()
+	defer benchCPUOut.mu.Unlock()
+	if len(benchCPUOut.Points) == 0 {
+		return nil
+	}
+	doc := &benchCPUDoc{
+		Header: benchjson.NewHeader(),
+		Points: benchCPUOut.Points,
+	}
+	base := map[bool]float64{}
+	for _, p := range doc.Points {
+		if p.Engine == "interpretive" {
+			base[p.MMU] = p.NsPerInstr
 		}
 	}
-	os.Exit(code)
+	for i := range doc.Points {
+		if b := base[doc.Points[i].MMU]; b > 0 && doc.Points[i].Engine == "predecoded" {
+			doc.Points[i].SpeedupVsInterpretive = b / doc.Points[i].NsPerInstr
+		}
+	}
+	return doc
 }

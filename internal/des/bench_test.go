@@ -11,12 +11,12 @@ package des
 // steady-state cost per event.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/benchjson"
 )
 
 type churnPoint struct {
@@ -40,39 +40,29 @@ var benchDESOut struct {
 }
 
 type benchDESDoc struct {
-	GoVersion  string            `json:"go_version"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	NumCPU     int               `json:"num_cpu"`
-	Churn      []churnPoint      `json:"event_churn,omitempty"`
-	NextEvent  []nextEventResult `json:"next_event_after,omitempty"`
+	benchjson.Header
+	Churn     []churnPoint      `json:"event_churn,omitempty"`
+	NextEvent []nextEventResult `json:"next_event_after,omitempty"`
 }
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if path := os.Getenv("BENCH_DES_JSON"); path != "" {
-		benchDESOut.mu.Lock()
-		doc := benchDESDoc{
-			GoVersion:  runtime.Version(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-			Churn:      benchDESOut.Churn,
-			NextEvent:  benchDESOut.NextEvent,
-		}
-		benchDESOut.mu.Unlock()
-		if doc.Churn != nil || doc.NextEvent != nil {
-			out, err := json.MarshalIndent(doc, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(out, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_DES_JSON:", err)
-				if code == 0 {
-					code = 1
-				}
-			}
-		}
-	}
+	code = benchjson.EmitFunc("BENCH_DES_JSON", code, emitBenchDES)
 	os.Exit(code)
+}
+
+// emitBenchDES returns the accumulated document (nil if nothing ran).
+func emitBenchDES() *benchDESDoc {
+	benchDESOut.mu.Lock()
+	defer benchDESOut.mu.Unlock()
+	if benchDESOut.Churn == nil && benchDESOut.NextEvent == nil {
+		return nil
+	}
+	return &benchDESDoc{
+		Header:    benchjson.NewHeader(),
+		Churn:     benchDESOut.Churn,
+		NextEvent: benchDESOut.NextEvent,
+	}
 }
 
 // BenchmarkDESChurn measures the steady-state cost of one event through

@@ -1,0 +1,93 @@
+package fault
+
+// Result.Digest is the campaign-equivalence primitive: two campaigns
+// over the same workload digest identically iff their observable
+// results — golden outputs, every trial record in trial order, the
+// outcome/target/mechanism tallies, and the merged telemetry registry
+// — are bit-identical. The sharded orchestrator's acceptance gate
+// (serial run vs coordinator/worker run at any worker count, with or
+// without induced worker loss) compares exactly this value.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Digest returns a 64-bit FNV-1a digest of the campaign's observable
+// result. Config identity covers only (Trials, Seed): execution-shape
+// fields like Parallelism must not perturb the digest, since the whole
+// point is that they cannot perturb the result. Snapshots is excluded
+// — checkpoint-store traffic is a per-process diagnostic that varies
+// legitimately with worker count.
+func (r *Result) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0xff}) // separator: "ab"+"c" must not collide with "a"+"bc"
+	}
+	bit := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+
+	i64(int64(r.Config.Trials))
+	u64(r.Config.Seed)
+
+	i64(int64(len(r.Golden)))
+	for _, w := range r.Golden {
+		u64(uint64(w.Port))
+		u64(uint64(w.Value))
+	}
+
+	i64(int64(len(r.Trials)))
+	for i := range r.Trials {
+		rec := &r.Trials[i]
+		i64(int64(rec.Fault.At))
+		i64(int64(rec.Fault.Target))
+		i64(int64(rec.Fault.Reg))
+		u64(uint64(rec.Fault.Bit))
+		u64(uint64(rec.Fault.Addr))
+		u64(uint64(rec.Fault.Mask))
+		bit(rec.Kernel)
+		i64(int64(rec.Outcome))
+		i64(int64(len(rec.Mechanisms)))
+		for _, m := range rec.Mechanisms {
+			str(m)
+		}
+	}
+
+	for _, o := range AllOutcomes() {
+		i64(int64(r.Counts[o]))
+	}
+	for _, tg := range AllTargets() {
+		for _, o := range AllOutcomes() {
+			i64(int64(r.ByTarget[tg][o]))
+		}
+	}
+	mechs := make([]string, 0, len(r.ByMechanism))
+	//nlft:allow nodeterminism collection order is erased by the sort.Strings below
+	for m := range r.ByMechanism {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	for _, m := range mechs {
+		str(m)
+		i64(int64(r.ByMechanism[m]))
+	}
+
+	bit(r.Metrics != nil)
+	if r.Metrics != nil {
+		u64(r.Metrics.Digest())
+	}
+	return h.Sum64()
+}

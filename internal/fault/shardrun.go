@@ -1,0 +1,358 @@
+package fault
+
+// The range-restricted campaign entry point for the sharded
+// orchestrator (internal/shard). A worker process builds one
+// ShardRunner per campaign spec and runs every lease it wins through
+// it: the golden run and the per-slot checkpoint captures are paid
+// once and amortized across leases, so a lease costs only its trials'
+// post-injection suffixes — the same economics the fork engine gives a
+// serial campaign.
+//
+// Why a shard is bit-identical to the same index range of a serial
+// run: every trial's plan is a pure function of (Seed, trial index)
+// (planForTrial), every trial executes on the same fork machinery
+// (forkWorker.runTrial / runTrial), records land at their trial index,
+// and all cross-trial aggregation — tally counts and the telemetry
+// registry — is commutative addition over per-trial contributions. No
+// part of a trial can observe which process, lease, or slot ran it.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// TallyDelta is the wire form of one shard's outcome tallies: the flat
+// tally arrays plus the open mechanism map. It marshals canonically
+// (arrays in index order, encoding/json sorts the map keys), merges by
+// pure addition, and applies to a Result with the exact skip-zero
+// semantics of the serial merge, so the folded maps are identical to a
+// serial run's for any shard partition and arrival order.
+type TallyDelta struct {
+	Counts      [NumOutcomes + 1]int                 `json:"counts"`
+	ByTarget    [NumTargets + 1][NumOutcomes + 1]int `json:"by_target"`
+	ByMechanism map[string]int                       `json:"by_mechanism,omitempty"`
+}
+
+// add folds one worker-slot tally into the delta.
+//
+//nlft:merge
+func (d *TallyDelta) add(t *tally) {
+	for o, n := range t.counts {
+		d.Counts[o] += n
+	}
+	for tg, counts := range t.byTarget {
+		for o, n := range counts {
+			d.ByTarget[tg][o] += n
+		}
+	}
+	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
+	for m, n := range t.byMechanism {
+		if d.ByMechanism == nil {
+			d.ByMechanism = make(map[string]int)
+		}
+		d.ByMechanism[m] += n
+	}
+}
+
+// Merge adds another shard's delta; pure addition, so any merge order
+// yields the same delta.
+//
+//nlft:merge
+func (d *TallyDelta) Merge(o *TallyDelta) {
+	if o == nil {
+		return
+	}
+	for i, n := range o.Counts {
+		d.Counts[i] += n
+	}
+	for tg, counts := range o.ByTarget {
+		for i, n := range counts {
+			d.ByTarget[tg][i] += n
+		}
+	}
+	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
+	for m, n := range o.ByMechanism {
+		if d.ByMechanism == nil {
+			d.ByMechanism = make(map[string]int)
+		}
+		d.ByMechanism[m] += n
+	}
+}
+
+// ApplyTo folds the delta into a Result's exported maps with the skip-
+// zero semantics of the serial merge (tally.mergeInto), so the map
+// contents — and every digest derived from them — match a serial run's.
+//
+//nlft:merge
+func (d *TallyDelta) ApplyTo(res *Result) {
+	for o, n := range d.Counts {
+		if n > 0 {
+			res.Counts[Outcome(o)] += n
+		}
+	}
+	//nlft:allow nodeterminism tally merge adds, which commutes; iteration order cannot affect the result
+	for m, n := range d.ByMechanism {
+		res.ByMechanism[m] += n
+	}
+	for target, counts := range d.ByTarget {
+		for o, n := range counts {
+			if n == 0 {
+				continue
+			}
+			if res.ByTarget[Target(target)] == nil {
+				res.ByTarget[Target(target)] = make(map[Outcome]int)
+			}
+			res.ByTarget[Target(target)][Outcome(o)] += n
+		}
+	}
+}
+
+// ShardResult is one completed trial-index range [Lo, Hi): the records
+// in trial order plus the shard's additive tally and telemetry deltas.
+type ShardResult struct {
+	Lo, Hi int
+	// Records holds the trials of the range in index order;
+	// Records[i] is trial Lo+i, bit-identical to the record a serial
+	// run produces at that index.
+	Records []TrialRecord
+	// Tally is the shard's outcome tally delta.
+	Tally TallyDelta
+	// Metrics is the shard's telemetry registry delta in canonical wire
+	// form (nil unless the campaign collects telemetry).
+	Metrics *obs.RegistryWire
+}
+
+// shardSlot is one parallel execution slot of a ShardRunner: a fork
+// worker (instance + checkpoint store, built once and reused across
+// leases — restore fully rewinds it) or, on the NoFork path, just the
+// reusable trial scratch.
+type shardSlot struct {
+	fw      *forkWorker
+	col     *obs.Collector // fork-path instance collector, rewound per restore
+	scratch trialScratch
+}
+
+// ShardRunner executes arbitrary trial-index ranges of one campaign
+// configuration. Build one per campaign and feed it every lease: the
+// golden run happens at construction and each slot's checkpoint
+// capture on its first lease, so subsequent leases start injecting
+// immediately. Not safe for concurrent Run calls (each lease already
+// fans out over cfg.Parallelism slots internally).
+type ShardRunner struct {
+	w      Workload
+	cfg    CampaignConfig
+	golden []Write
+	slots  []*shardSlot
+}
+
+// NewShardRunner validates the configuration and runs the golden run.
+// Sharded campaigns draw every trial from its (Seed, index) stream, so
+// planned campaigns (cfg.Plan) are rejected; per-trial event streams
+// (cfg.TelemetryEvents) are trial-ordered rather than additive, so
+// they are a serial-only feature and rejected too.
+func NewShardRunner(w Workload, cfg CampaignConfig) (*ShardRunner, error) {
+	if w == nil {
+		return nil, fmt.Errorf("fault: nil workload")
+	}
+	if cfg.Plan != nil {
+		return nil, fmt.Errorf("fault: planned campaigns cannot be sharded")
+	}
+	if cfg.TelemetryEvents {
+		return nil, fmt.Errorf("fault: per-trial event streams cannot be sharded; use Telemetry (metrics only)")
+	}
+	cfg.applyDefaults()
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("fault: %d trials", cfg.Trials)
+	}
+	golden, err := goldenRun(w, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(golden) == 0 {
+		return nil, fmt.Errorf("fault: golden run produced no outputs; workload broken")
+	}
+	return &ShardRunner{
+		w:      w,
+		cfg:    cfg,
+		golden: golden,
+		slots:  make([]*shardSlot, cfg.Parallelism),
+	}, nil
+}
+
+// Config is the runner's configuration with defaults applied.
+func (r *ShardRunner) Config() CampaignConfig { return r.cfg }
+
+// Golden is the fault-free output sequence.
+func (r *ShardRunner) Golden() []Write { return r.golden }
+
+// Run executes trials [lo, hi) and returns their records and additive
+// deltas. Any partition of [0, Trials) into Run calls — in any order,
+// including overlapping re-runs of the same range discarded by the
+// caller — merges to the serial result.
+func (r *ShardRunner) Run(lo, hi int) (*ShardResult, error) {
+	if lo < 0 || hi > r.cfg.Trials || lo >= hi {
+		return nil, fmt.Errorf("fault: shard range [%d, %d) outside campaign [0, %d)", lo, hi, r.cfg.Trials)
+	}
+	n := hi - lo
+	slots := len(r.slots)
+	if slots > n {
+		slots = n
+	}
+	out := &ShardResult{Lo: lo, Hi: hi, Records: make([]TrialRecord, n)}
+	tallies := make([]*tally, slots)
+	regs := make([]*obs.Registry, slots)
+	errs := make([]error, slots)
+	var wg sync.WaitGroup
+	for k := 0; k < slots; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tallies[k] = newTally()
+			regs[k], errs[k] = r.runSlot(k, slots, lo, hi, out.Records, tallies[k])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range tallies {
+		out.Tally.add(t)
+	}
+	if r.cfg.Telemetry {
+		merged := obs.NewRegistry()
+		for _, reg := range regs {
+			merged.Merge(reg)
+		}
+		out.Metrics = merged.Wire()
+	}
+	return out, nil
+}
+
+// runSlot executes slot k's strided share of [lo, hi): trials
+// lo+k, lo+k+slots, …. Records land at their range offset, so the
+// result order is the trial-index order regardless of slot count.
+func (r *ShardRunner) runSlot(k, slots, lo, hi int, records []TrialRecord, t *tally) (*obs.Registry, error) {
+	if r.cfg.NoFork {
+		return r.runSlotScratch(k, slots, lo, hi, records, t)
+	}
+	s := r.slots[k]
+	if s == nil {
+		s = &shardSlot{}
+		if r.cfg.Telemetry {
+			s.col = newWorkerCollector()
+		}
+		fw, err := newForkWorker(r.w, &r.cfg, s.col, r.golden)
+		if err != nil {
+			return nil, err
+		}
+		s.fw = fw
+		r.slots[k] = s
+	}
+	// accCol accumulates exactly this lease's per-trial registries — the
+	// shard's telemetry delta. The slot's instance collector is rewound
+	// by every restore, so after a trial it holds that trial's full
+	// registry (checkpoint prefix + simulated suffix), exactly like the
+	// serial fork path's per-worker accumulation.
+	var accCol *obs.Collector
+	if r.cfg.Telemetry {
+		accCol = newWorkerCollector()
+	}
+	mine := make([]int, 0, (hi-lo-k+slots-1)/slots)
+	plans := make(map[int]trialPlan, cap(mine))
+	for trial := lo + k; trial < hi; trial += slots {
+		plan := planForTrial(r.w, &r.cfg, trial)
+		plan.ckpt = s.fw.cs.selectFor(plan.fault.At)
+		plans[trial] = plan
+		mine = append(mine, trial)
+	}
+	// Bucket by fork base like the serial engine: consecutive trials
+	// restore the same snapshot, keeping the restore source cache-warm.
+	sort.SliceStable(mine, func(a, b int) bool {
+		return plans[mine[a]].ckpt < plans[mine[b]].ckpt
+	})
+	for _, trial := range mine {
+		rec, err := s.fw.runTrial(plans[trial])
+		if err != nil {
+			return nil, fmt.Errorf("fault: trial %d: %w", trial, err)
+		}
+		if accCol != nil {
+			accCol.Registry().Merge(s.col.Registry())
+		}
+		recordTrialMetrics(accCol, &rec)
+		records[trial-lo] = rec
+		t.record(&rec)
+	}
+	if accCol != nil {
+		return accCol.Registry(), nil
+	}
+	return nil, nil
+}
+
+// runSlotScratch is the NoFork slot loop: every trial simulates from
+// t=0 on a fresh instance, with a per-lease metrics collector whose
+// registry is the slot's additive delta.
+func (r *ShardRunner) runSlotScratch(k, slots, lo, hi int, records []TrialRecord, t *tally) (*obs.Registry, error) {
+	s := r.slots[k]
+	if s == nil {
+		s = &shardSlot{}
+		r.slots[k] = s
+	}
+	var col *obs.Collector
+	if r.cfg.Telemetry {
+		col = newWorkerCollector()
+	}
+	for trial := lo + k; trial < hi; trial += slots {
+		plan := planForTrial(r.w, &r.cfg, trial)
+		rec, err := runTrial(r.w, r.cfg, plan, r.golden, &s.scratch, col)
+		if err != nil {
+			return nil, fmt.Errorf("fault: trial %d: %w", trial, err)
+		}
+		recordTrialMetrics(col, &rec)
+		records[trial-lo] = rec
+		t.record(&rec)
+	}
+	if col != nil {
+		return col.Registry(), nil
+	}
+	return nil, nil
+}
+
+// FinalizeSharded assembles a campaign Result from shard-merged parts,
+// exactly as the serial merge phase does: the tally delta folds into
+// the exported maps with skip-zero semantics, the merged registry
+// becomes Result.Metrics when telemetry was collected, and the §3.2.2
+// estimators are computed from the folded counts. Snapshots stays nil
+// (checkpoint-store traffic is a per-process diagnostic, not part of
+// the campaign's observable result).
+func FinalizeSharded(cfg CampaignConfig, golden []Write, trials []TrialRecord, delta *TallyDelta, metrics *obs.Registry) (*Result, error) {
+	cfg.applyDefaults()
+	if len(trials) != cfg.Trials {
+		return nil, fmt.Errorf("fault: %d trial records for a %d-trial campaign", len(trials), cfg.Trials)
+	}
+	res := &Result{
+		Config:      cfg,
+		Golden:      golden,
+		Counts:      make(map[Outcome]int),
+		ByMechanism: make(map[string]int),
+		ByTarget:    make(map[Target]map[Outcome]int),
+		Trials:      trials,
+	}
+	delta.ApplyTo(res)
+	if cfg.Telemetry {
+		res.Metrics = metrics
+	}
+	activated := res.Activated()
+	detected := res.Detected()
+	res.CD = stats.NewProportion(detected, activated)
+	res.PT = stats.NewProportion(res.Counts[Masked], detected)
+	res.POM = stats.NewProportion(res.Counts[Omission], detected)
+	res.PFS = stats.NewProportion(res.Counts[FailSilent], detected)
+	return res, nil
+}

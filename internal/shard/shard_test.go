@@ -1,0 +1,471 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// testSpec is the reference campaign the equivalence tests shard:
+// small enough to run serially in milliseconds, sliced into enough
+// leases that multiple workers genuinely interleave.
+var testSpec = CampaignSpec{
+	Trials: 96, Seed: 42, ECC: true, Telemetry: true, LeaseSize: 16,
+}
+
+var (
+	serialOnce sync.Once
+	serialRes  *fault.Result
+	serialErr  error
+)
+
+// serialResult runs the reference campaign serially, once per process.
+func serialResult(t *testing.T) *fault.Result {
+	t.Helper()
+	serialOnce.Do(func() {
+		cfg, err := testSpec.Config(2)
+		if err != nil {
+			serialErr = err
+			return
+		}
+		serialRes, serialErr = fault.Run(testSpec.Workload(), cfg)
+	})
+	if serialErr != nil {
+		t.Fatal(serialErr)
+	}
+	return serialRes
+}
+
+// fakeClock is an injectable coordinator clock so lease expiry is
+// driven by the test, not by sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+// drain runs the worker until the coordinator has no work left.
+func drain(t *testing.T, w *Worker) {
+	t.Helper()
+	for {
+		worked, err := w.RunOne()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !worked {
+			return
+		}
+	}
+}
+
+// drainN drains with n concurrent workers over the same transport.
+func drainN(t *testing.T, tr Transport, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{Transport: tr, Name: "w" + string(rune('0'+i)), Parallelism: 2}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drain(t, w)
+		}()
+	}
+	wg.Wait()
+}
+
+// requireSameResult asserts the coordinator's finalized result is
+// bit-identical to the serial reference.
+func requireSameResult(t *testing.T, c *Coordinator, id string, want *fault.Result, label string) {
+	t.Helper()
+	got, err := c.Result(id)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if g, w := got.Digest(), want.Digest(); g != w {
+		t.Errorf("%s: digest %#x, want %#x", label, g, w)
+	}
+	if got.Metrics == nil || want.Metrics == nil {
+		t.Fatalf("%s: missing metrics registry", label)
+	}
+	if g, w := got.Metrics.Digest(), want.Metrics.Digest(); g != w {
+		t.Errorf("%s: metrics digest %#x, want %#x", label, g, w)
+	}
+	for _, o := range fault.AllOutcomes() {
+		if got.Counts[o] != want.Counts[o] {
+			t.Errorf("%s: %v count %d, want %d", label, o, got.Counts[o], want.Counts[o])
+		}
+	}
+}
+
+// TestShardedEqualsSerial: 1, 2 and 4 concurrent workers over the
+// loopback transport all reproduce the serial campaign bit-for-bit.
+func TestShardedEqualsSerial(t *testing.T) {
+	want := serialResult(t)
+	for _, workers := range []int{1, 2, 4} {
+		c := NewCoordinator(CoordinatorOptions{})
+		id, err := c.Submit(testSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainN(t, Loopback{C: c}, workers)
+		p, err := c.Progress(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Done || p.Completed != testSpec.Trials {
+			t.Fatalf("%d workers: progress %+v, want done", workers, p)
+		}
+		requireSameResult(t, c, id, want, "workers="+string(rune('0'+workers)))
+	}
+}
+
+// TestWorkerLossRelease: a worker takes a lease and dies silently; the
+// coordinator re-leases the range at TTL expiry and the final result
+// is still bit-identical to the serial and no-loss runs.
+func TestWorkerLossRelease(t *testing.T) {
+	want := serialResult(t)
+	clock := newFakeClock()
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Minute, Now: clock.Now})
+	id, err := c.Submit(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := Loopback{C: c}
+
+	// The doomed worker leases the first range and is never heard from
+	// again.
+	dead, err := lb.Lease("doomed")
+	if err != nil || dead == nil {
+		t.Fatalf("lease: %v, %v", dead, err)
+	}
+	if dead.Lo != 0 || dead.Hi != testSpec.LeaseSize {
+		t.Fatalf("first lease [%d, %d), want [0, %d)", dead.Lo, dead.Hi, testSpec.LeaseSize)
+	}
+
+	// Before expiry the range is held: a healthy worker never sees it.
+	clock.Advance(30 * time.Second)
+	if err := c.Heartbeat(dead.ID); err != nil {
+		t.Fatalf("heartbeat before expiry: %v", err)
+	}
+
+	// Three missed heartbeats later the lease expires and the range
+	// returns to the pool; a healthy worker drains everything.
+	clock.Advance(2 * time.Minute)
+	if err := c.Heartbeat(dead.ID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("heartbeat after expiry: %v, want ErrLeaseExpired", err)
+	}
+	drain(t, &Worker{Transport: lb, Name: "healthy", Parallelism: 2})
+	p, err := c.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done {
+		t.Fatalf("progress after drain: %+v", p)
+	}
+	requireSameResult(t, c, id, want, "with worker loss")
+
+	// The presumed-dead worker finally reports its (identical) result;
+	// the duplicate is discarded and nothing double-counts.
+	runner, err := fault.NewShardRunner(testSpec.Workload(), mustConfig(t, &testSpec, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := runner.Run(dead.Lo, dead.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeCompletion(&buf, sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(dead.ID, &buf); err != nil {
+		t.Fatalf("late duplicate completion: %v", err)
+	}
+	p, err = c.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Completed != testSpec.Trials {
+		t.Fatalf("completed %d after duplicate, want %d", p.Completed, testSpec.Trials)
+	}
+	requireSameResult(t, c, id, want, "after late duplicate")
+}
+
+// TestExpiredLeaseFirstCompletionWins: a lease expires (the worker was
+// only slow, not dead) and its completion arrives before any re-lease
+// runs — it must be applied, and the re-leased range must then be
+// retired from the pool.
+func TestExpiredLeaseFirstCompletionWins(t *testing.T) {
+	want := serialResult(t)
+	clock := newFakeClock()
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Minute, Now: clock.Now})
+	id, err := c.Submit(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := Loopback{C: c}
+	slow, err := lb.Lease("slow")
+	if err != nil || slow == nil {
+		t.Fatalf("lease: %v, %v", slow, err)
+	}
+	clock.Advance(2 * time.Minute) // lease expires; range back in pool
+
+	runner, err := fault.NewShardRunner(testSpec.Workload(), mustConfig(t, &testSpec, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := runner.Run(slow.Lo, slow.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeCompletion(&buf, sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(slow.ID, &buf); err != nil {
+		t.Fatalf("late-but-first completion: %v", err)
+	}
+	drain(t, &Worker{Transport: lb, Name: "healthy", Parallelism: 2})
+	p, err := c.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done || p.Completed != testSpec.Trials {
+		t.Fatalf("progress %+v, want done with %d trials", p, testSpec.Trials)
+	}
+	requireSameResult(t, c, id, want, "first-completion-wins")
+}
+
+func mustConfig(t *testing.T, spec *CampaignSpec, parallelism int) fault.CampaignConfig {
+	t.Helper()
+	cfg, err := spec.Config(parallelism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestHTTPEndToEnd drives the full HTTP protocol — submit, lease,
+// heartbeat, streamed completion, progress, summary — through the real
+// handler and client with an in-process round-tripper, no sockets.
+func TestHTTPEndToEnd(t *testing.T) {
+	want := serialResult(t)
+	c := NewCoordinator(CoordinatorOptions{})
+	client := &Client{
+		Base: "http://coordinator.test",
+		HTTP: &http.Client{Transport: inprocess{h: c.Handler()}},
+	}
+	id, err := client.Submit(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Summary(id); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("summary before completion: %v, want ErrIncomplete", err)
+	}
+	p, err := client.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Done || p.Completed != 0 {
+		t.Fatalf("fresh progress %+v", p)
+	}
+
+	drainN(t, client, 2)
+
+	sum, err := client.Summary(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := "0x" + strings.TrimPrefix(sumHex(want.Digest()), "0x")
+	if sum.Digest != wantDigest {
+		t.Errorf("summary digest %s, want %s", sum.Digest, wantDigest)
+	}
+	for _, o := range fault.AllOutcomes() {
+		if sum.Counts[o.String()] != want.Counts[o] {
+			t.Errorf("summary count %v = %d, want %d", o, sum.Counts[o.String()], want.Counts[o])
+		}
+	}
+	if !strings.Contains(sum.Text, "campaign: 96 trials, seed 42") {
+		t.Errorf("summary text missing header:\n%s", sum.Text)
+	}
+	requireSameResult(t, c, id, want, "http")
+
+	// Error surface over the wire.
+	if _, err := client.Progress("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown campaign: %v, want ErrNotFound", err)
+	}
+	if err := client.Heartbeat("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown lease: %v, want ErrNotFound", err)
+	}
+	if _, err := client.Submit(CampaignSpec{Trials: 0}); err == nil {
+		t.Error("zero-trial spec accepted over HTTP")
+	}
+}
+
+func sumHex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var b [16]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return "0x" + string(b[i:])
+}
+
+// inprocess routes client requests straight into the handler.
+type inprocess struct{ h http.Handler }
+
+func (t inprocess) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// TestCompletionValidation: malformed completion streams must be
+// rejected without corrupting campaign state.
+func TestCompletionValidation(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{})
+	id, err := c.Submit(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := Loopback{C: c}
+	l, err := lb.Lease("w")
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	if err := c.Complete("nope", strings.NewReader("")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown lease: %v, want ErrNotFound", err)
+	}
+	if err := c.Complete(l.ID, strings.NewReader("")); err == nil {
+		t.Error("empty body accepted")
+	}
+	// Truncated: records but no tally/end.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &completionFrame{Records: make([]fault.TrialRecord, l.Hi-l.Lo)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(l.ID, &buf); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Wrong record count.
+	buf.Reset()
+	if err := writeFrame(&buf, &completionFrame{Records: make([]fault.TrialRecord, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, &completionFrame{Tally: &fault.TallyDelta{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, &completionFrame{End: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(l.ID, &buf); err == nil {
+		t.Error("wrong record count accepted")
+	}
+	// A well-formed completion still lands after the rejects.
+	runner, err := fault.NewShardRunner(testSpec.Workload(), mustConfig(t, &testSpec, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := runner.Run(l.Lo, l.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := writeCompletion(&buf, sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(l.ID, &buf); err != nil {
+		t.Fatalf("valid completion after rejects: %v", err)
+	}
+	p, err := c.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Completed != l.Hi-l.Lo {
+		t.Fatalf("completed %d, want %d", p.Completed, l.Hi-l.Lo)
+	}
+}
+
+// TestSpecValidation exercises the submission guardrails.
+func TestSpecValidation(t *testing.T) {
+	bad := []CampaignSpec{
+		{Trials: 0},
+		{Trials: 10, Targets: []string{"warp-core"}},
+		{Trials: 10, Compute: -1},
+		{Trials: 10, LeaseSize: -1},
+		{Trials: 10, SnapshotIntervalNs: -1},
+		{Trials: 10, KernelShare: 1.5},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	good := CampaignSpec{Trials: 10, Targets: []string{"alu", "pc"}, KernelShare: 0.1, KernelDetect: 0.9}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	cfg, err := good.Config(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Targets) != 2 || cfg.Targets[0] != fault.TargetALU || cfg.Targets[1] != fault.TargetPC {
+		t.Errorf("targets %v", cfg.Targets)
+	}
+	if cfg.Parallelism != 3 || cfg.KernelShare != 0.1 {
+		t.Errorf("config %+v", cfg)
+	}
+}
+
+// TestFrameCodec covers the framing edge cases directly.
+func TestFrameCodec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int
+	if err := readFrame(&buf, &m); err != nil || m["a"] != 1 {
+		t.Fatalf("round-trip: %v, %v", m, err)
+	}
+	// Clean EOF at a frame boundary.
+	if err := readFrame(&buf, &m); err == nil || err.Error() != "EOF" {
+		t.Fatalf("boundary read: %v, want io.EOF", err)
+	}
+	// Oversized length prefix must be rejected before allocating.
+	if err := readFrame(strings.NewReader("\xff\xff\xff\xff"), &m); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Torn header.
+	if err := readFrame(strings.NewReader("\x00\x00"), &m); err == nil || err.Error() == "EOF" {
+		t.Errorf("torn header: %v, want wrapped error", err)
+	}
+}

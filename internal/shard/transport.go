@@ -1,0 +1,36 @@
+package shard
+
+import "io"
+
+// Transport is the worker's view of a coordinator: lease work, keep it
+// alive, stream completions back. The HTTP client and the in-process
+// loopback implement it identically, so the whole protocol — including
+// worker loss and re-lease — is unit-testable without sockets.
+type Transport interface {
+	// Lease requests the next trial range; (nil, nil) means no work is
+	// currently available.
+	Lease(worker string) (*Lease, error)
+	// Heartbeat extends a lease; ErrLeaseExpired means the range was
+	// re-leased and the worker should abandon it.
+	Heartbeat(leaseID string) error
+	// Complete streams a completion body (completion frames) for a
+	// lease.
+	Complete(leaseID string, body io.Reader) error
+}
+
+// Loopback is the in-process transport: method calls straight into the
+// coordinator.
+type Loopback struct{ C *Coordinator }
+
+// Lease implements Transport.
+func (t Loopback) Lease(worker string) (*Lease, error) { return t.C.LeaseNext(worker) }
+
+// Heartbeat implements Transport.
+func (t Loopback) Heartbeat(leaseID string) error { return t.C.Heartbeat(leaseID) }
+
+// Complete implements Transport.
+func (t Loopback) Complete(leaseID string, body io.Reader) error {
+	return t.C.Complete(leaseID, body)
+}
+
+var _ Transport = Loopback{}
